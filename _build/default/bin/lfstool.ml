@@ -1,0 +1,311 @@
+(* lfstool: manipulate LFS disk images kept in host files.
+
+   The simulated disk's media is a flat byte array, so an LFS file system
+   can live in an ordinary file:
+
+     lfstool format img.lfs --size-mb 64
+     lfstool put img.lfs /notes.txt README.md
+     lfstool ls img.lfs /
+     lfstool cat img.lfs /notes.txt
+     lfstool segments img.lfs
+     lfstool fsck img.lfs
+*)
+
+module Clock = Lfs_disk.Clock
+module Config = Lfs_core.Config
+module Cpu_model = Lfs_disk.Cpu_model
+module Disk = Lfs_disk.Disk
+module Fs = Lfs_core.Fs
+module Geometry = Lfs_disk.Geometry
+module Io = Lfs_disk.Io
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let make_io ~size_bytes =
+  let geometry = Geometry.wren_iv ~size_bytes in
+  Io.create (Disk.create geometry) (Clock.create ()) Cpu_model.free
+
+let load_image path =
+  let media = read_file path in
+  let io = make_io ~size_bytes:(String.length media) in
+  Disk.restore (Io.disk io) (Bytes.of_string media);
+  io
+
+let save_image io path =
+  write_file path (Bytes.to_string (Disk.snapshot (Io.disk io)))
+
+let mount_image path =
+  let io = load_image path in
+  match Fs.mount io with
+  | Ok fs -> fs
+  | Error e ->
+      Printf.eprintf "lfstool: %s: %s\n" path e;
+      exit 1
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+      Printf.eprintf "lfstool: %s\n" (Lfs_vfs.Errors.to_string e);
+      exit 1
+
+(* Commands *)
+
+let cmd_format image size_mb block_size segment_size =
+  let io = make_io ~size_bytes:(size_mb * 1024 * 1024) in
+  let config = { Config.default with Config.block_size; segment_size } in
+  (match Fs.format io config with
+  | Ok () -> ()
+  | Error e ->
+      Printf.eprintf "lfstool: format: %s\n" e;
+      exit 1);
+  save_image io image;
+  Printf.printf "formatted %s (%d MB, %d B blocks, %d KB segments)\n" image
+    size_mb block_size (segment_size / 1024)
+
+let cmd_ls image path =
+  let fs = mount_image image in
+  List.iter
+    (fun name ->
+      let full = if path = "/" then "/" ^ name else path ^ "/" ^ name in
+      let stat = or_die (Fs.stat fs full) in
+      Printf.printf "%s %8d  %s\n"
+        (match stat.Lfs_vfs.Fs_intf.kind with
+        | Lfs_vfs.Fs_intf.Directory -> "d"
+        | Lfs_vfs.Fs_intf.Regular -> "-")
+        stat.Lfs_vfs.Fs_intf.size name)
+    (or_die (Fs.readdir fs path))
+
+let cmd_cat image path =
+  let fs = mount_image image in
+  let stat = or_die (Fs.stat fs path) in
+  let data = or_die (Fs.read fs path ~off:0 ~len:stat.Lfs_vfs.Fs_intf.size) in
+  print_string (Bytes.to_string data)
+
+let cmd_put image path hostfile =
+  let fs = mount_image image in
+  let data = read_file hostfile in
+  if not (Fs.exists fs path) then or_die (Fs.create fs path);
+  or_die (Fs.truncate fs path ~size:0);
+  or_die (Fs.write fs path ~off:0 (Bytes.of_string data));
+  Fs.unmount fs;
+  save_image (Fs.io fs) image;
+  Printf.printf "wrote %d bytes to %s:%s\n" (String.length data) image path
+
+let cmd_mkdir image path =
+  let fs = mount_image image in
+  or_die (Fs.mkdir fs path);
+  Fs.unmount fs;
+  save_image (Fs.io fs) image
+
+let cmd_rm image path =
+  let fs = mount_image image in
+  or_die (Fs.delete fs path);
+  Fs.unmount fs;
+  save_image (Fs.io fs) image
+
+let cmd_info image =
+  let fs = mount_image image in
+  let layout = Fs.layout fs in
+  Format.printf "%a@." Lfs_core.Layout.pp layout;
+  let stats = Fs.stats fs in
+  Printf.printf "clean segments : %d / %d\n" (Fs.clean_segment_count fs)
+    layout.Lfs_core.Layout.nsegments;
+  Printf.printf "live data      : %s\n"
+    (Lfs_util.Table.fmt_bytes (Fs.live_bytes fs));
+  Printf.printf "checkpoints    : %d, roll-forward segments: %d\n"
+    stats.Lfs_core.State.checkpoints
+    stats.Lfs_core.State.rollforward_segments
+
+let cmd_segments image =
+  let fs = mount_image image in
+  List.iter
+    (fun (seg, state, util) ->
+      Printf.printf "seg %4d  %-6s  %3.0f%%  %s\n" seg
+        (match state with
+        | Lfs_core.Seg_usage.Clean -> "clean"
+        | Lfs_core.Seg_usage.Dirty -> "dirty"
+        | Lfs_core.Seg_usage.Active -> "active")
+        (util *. 100.0)
+        (String.make (int_of_float (util *. 50.0)) '#'))
+    (Fs.segment_report fs)
+
+let cmd_clean image =
+  let fs = mount_image image in
+  let freed = Fs.clean_now ~target:max_int fs in
+  Fs.unmount fs;
+  save_image (Fs.io fs) image;
+  Printf.printf "freed %d segments; %d now clean\n" freed
+    (Fs.clean_segment_count fs)
+
+let cmd_get image path hostfile =
+  let fs = mount_image image in
+  let stat = or_die (Fs.stat fs path) in
+  let data = or_die (Fs.read fs path ~off:0 ~len:stat.Lfs_vfs.Fs_intf.size) in
+  write_file hostfile (Bytes.to_string data);
+  Printf.printf "copied %d bytes from %s:%s to %s\n" (Bytes.length data) image
+    path hostfile
+
+let cmd_tree image =
+  let fs = mount_image image in
+  let rec walk indent path =
+    List.iter
+      (fun name ->
+        let full = if path = "/" then "/" ^ name else path ^ "/" ^ name in
+        let stat = or_die (Fs.stat fs full) in
+        match stat.Lfs_vfs.Fs_intf.kind with
+        | Lfs_vfs.Fs_intf.Directory ->
+            Printf.printf "%s%s/\n" indent name;
+            walk (indent ^ "  ") full
+        | Lfs_vfs.Fs_intf.Regular ->
+            Printf.printf "%s%s (%d bytes)\n" indent name
+              stat.Lfs_vfs.Fs_intf.size)
+      (or_die (Fs.readdir fs path))
+  in
+  print_endline "/";
+  walk "  " "/"
+
+let cmd_df image =
+  let fs = mount_image image in
+  let s = Fs.space fs in
+  Printf.printf "capacity : %s\n" (Lfs_util.Table.fmt_bytes s.Fs.capacity_bytes);
+  Printf.printf "live     : %s (%.0f%%)\n"
+    (Lfs_util.Table.fmt_bytes s.Fs.live_bytes)
+    (100.0 *. float_of_int s.Fs.live_bytes /. float_of_int s.Fs.capacity_bytes);
+  Printf.printf "clean    : %s in %d segments\n"
+    (Lfs_util.Table.fmt_bytes s.Fs.clean_bytes)
+    (Fs.clean_segment_count fs);
+  Printf.printf "cleanable: %s (dead bytes in dirty segments)\n"
+    (Lfs_util.Table.fmt_bytes s.Fs.cleanable_bytes)
+
+(* A small fsck: walk the namespace, read every file completely, and
+   check directory structure invariants. *)
+let cmd_fsck image =
+  let fs = mount_image image in
+  let files = ref 0 and dirs = ref 0 and bytes = ref 0 in
+  let problems = ref 0 in
+  let rec walk path =
+    match Fs.readdir fs path with
+    | Error e ->
+        incr problems;
+        Printf.printf "fsck: readdir %s: %s\n" path (Lfs_vfs.Errors.to_string e)
+    | Ok names ->
+        List.iter
+          (fun name ->
+            let full = if path = "/" then "/" ^ name else path ^ "/" ^ name in
+            match Fs.stat fs full with
+            | Error e ->
+                incr problems;
+                Printf.printf "fsck: stat %s: %s\n" full
+                  (Lfs_vfs.Errors.to_string e)
+            | Ok stat -> (
+                match stat.Lfs_vfs.Fs_intf.kind with
+                | Lfs_vfs.Fs_intf.Directory ->
+                    incr dirs;
+                    walk full
+                | Lfs_vfs.Fs_intf.Regular -> (
+                    incr files;
+                    match
+                      Fs.read fs full ~off:0 ~len:stat.Lfs_vfs.Fs_intf.size
+                    with
+                    | Ok data -> bytes := !bytes + Bytes.length data
+                    | Error e ->
+                        incr problems;
+                        Printf.printf "fsck: read %s: %s\n" full
+                          (Lfs_vfs.Errors.to_string e))))
+          names
+  in
+  walk "/";
+  (* Deep structural pass: double references, wild addresses, orphans. *)
+  let issues = Lfs_core.Check.fsck fs in
+  List.iter
+    (fun issue ->
+      incr problems;
+      Format.printf "fsck: %a@." Lfs_core.Check.pp_issue issue)
+    issues;
+  Printf.printf "fsck: %d directories, %d files, %s of data, %d problems\n"
+    !dirs !files
+    (Lfs_util.Table.fmt_bytes !bytes)
+    !problems;
+  if !problems > 0 then exit 1
+
+let cmd_dump_segment image seg =
+  let fs = mount_image image in
+  print_string (Lfs_core.Inspect.describe_segment fs (int_of_string seg))
+
+let cmd_checkpoints image =
+  let fs = mount_image image in
+  print_string (Lfs_core.Inspect.describe_checkpoints fs)
+
+(* Cmdliner plumbing *)
+
+open Cmdliner
+
+let image = Arg.(required & pos 0 (some string) None & info [] ~docv:"IMAGE")
+
+let path n =
+  Arg.(required & pos n (some string) None & info [] ~docv:"PATH")
+
+let format_cmd =
+  let size_mb =
+    Arg.(value & opt int 64 & info [ "size-mb" ] ~doc:"Image size in MB.")
+  in
+  let block_size =
+    Arg.(value & opt int 4096 & info [ "block-size" ] ~doc:"Block size in bytes.")
+  in
+  let segment_size =
+    Arg.(
+      value
+      & opt int (1 lsl 20)
+      & info [ "segment-size" ] ~doc:"Segment size in bytes.")
+  in
+  Cmd.v
+    (Cmd.info "format" ~doc:"Create and format a new LFS image.")
+    Term.(const cmd_format $ image $ size_mb $ block_size $ segment_size)
+
+let simple name doc f extra =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ image $ extra)
+
+let noarg name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ image)
+
+let () =
+  let cmds =
+    [
+      format_cmd;
+      simple "ls" "List a directory." cmd_ls (path 1);
+      simple "cat" "Print a file's contents." cmd_cat (path 1);
+      Cmd.v
+        (Cmd.info "put" ~doc:"Copy a host file into the image.")
+        Term.(const cmd_put $ image $ path 1 $ path 2);
+      Cmd.v
+        (Cmd.info "get" ~doc:"Copy a file out of the image to the host.")
+        Term.(const cmd_get $ image $ path 1 $ path 2);
+      simple "mkdir" "Create a directory." cmd_mkdir (path 1);
+      noarg "tree" "Print the whole namespace." cmd_tree;
+      noarg "df" "Show space usage." cmd_df;
+      simple "rm" "Remove a file or empty directory." cmd_rm (path 1);
+      noarg "info" "Show superblock and log statistics." cmd_info;
+      noarg "segments" "Show the segment map." cmd_segments;
+      Cmd.v
+        (Cmd.info "dump-segment" ~doc:"Decode one segment's summary.")
+        Term.(const cmd_dump_segment $ image $ path 1);
+      noarg "checkpoints" "Decode both checkpoint regions." cmd_checkpoints;
+      noarg "clean" "Run the segment cleaner." cmd_clean;
+      noarg "fsck" "Walk and verify the whole namespace." cmd_fsck;
+    ]
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "lfstool" ~version:"1.0"
+             ~doc:"Inspect and modify LFS disk images.")
+          cmds))

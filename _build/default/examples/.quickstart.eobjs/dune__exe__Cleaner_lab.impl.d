@@ -1,0 +1,1 @@
+examples/cleaner_lab.ml: Array Lfs_core Lfs_vfs Lfs_workload List Printf String

@@ -1,0 +1,1 @@
+examples/cleaner_lab.mli:

@@ -1,0 +1,1 @@
+examples/large_file.ml: Array Lfs_workload List Printf Sys

@@ -1,0 +1,1 @@
+examples/large_file.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Format Lfs_core Lfs_disk Lfs_vfs Printf String

@@ -1,0 +1,1 @@
+examples/segment_anatomy.ml: Bytes Lfs_core Lfs_vfs Lfs_workload List

@@ -1,0 +1,1 @@
+examples/segment_anatomy.mli:

@@ -1,0 +1,1 @@
+examples/small_files.ml: Array Lfs_disk Lfs_workload List Printf Sys

@@ -1,0 +1,1 @@
+examples/trace_replay.ml: Array Filename Lfs_util Lfs_workload List Printf Sys

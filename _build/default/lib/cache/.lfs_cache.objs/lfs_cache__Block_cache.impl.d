@@ -1,0 +1,1 @@
+lib/cache/block_cache.ml: Lfs_disk Lfs_util List

@@ -1,0 +1,135 @@
+module Lru = Lfs_util.Lru
+module Clock = Lfs_disk.Clock
+
+type key = { owner : int; blkno : int }
+
+type entry = {
+  data : bytes;
+  mutable is_dirty : bool;
+  mutable dirty_since_us : int;
+}
+
+type t = {
+  clock : Clock.t;
+  entries : (key, entry) Lru.t;
+  capacity : int;
+  mutable ndirty : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(capacity_blocks = 4096) clock =
+  if capacity_blocks <= 0 then invalid_arg "Block_cache.create: capacity";
+  {
+    clock;
+    entries = Lru.create ();
+    capacity = capacity_blocks;
+    ndirty = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+let capacity_blocks t = t.capacity
+let length t = Lru.length t.entries
+let dirty_count t = t.ndirty
+
+let find t key =
+  match Lru.find t.entries key with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      Some e.data
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let mem t key = Lru.mem t.entries key
+
+let dirty t key =
+  match Lru.peek t.entries key with Some e -> e.is_dirty | None -> false
+
+(* Reclaim clean entries from the LRU side while over capacity.  Dirty
+   entries are skipped: they are the write buffer and only write-back may
+   release them. *)
+let evict_clean t =
+  if Lru.length t.entries > t.capacity then begin
+    let excess = ref (Lru.length t.entries - t.capacity) in
+    let victims =
+      List.filter_map
+        (fun (k, e) ->
+          if !excess > 0 && not e.is_dirty then begin
+            decr excess;
+            Some k
+          end
+          else None)
+        (List.rev (Lru.to_list t.entries))
+    in
+    List.iter (fun k -> ignore (Lru.remove t.entries k)) victims
+  end
+
+let insert t key ~dirty data =
+  (match Lru.peek t.entries key with
+  | Some old -> if old.is_dirty then t.ndirty <- t.ndirty - 1
+  | None -> ());
+  let e = { data; is_dirty = dirty; dirty_since_us = Clock.now_us t.clock } in
+  if dirty then t.ndirty <- t.ndirty + 1;
+  ignore (Lru.add t.entries key e);
+  evict_clean t
+
+let mark_dirty t key =
+  match Lru.peek t.entries key with
+  | None -> raise Not_found
+  | Some e ->
+      if not e.is_dirty then begin
+        e.is_dirty <- true;
+        e.dirty_since_us <- Clock.now_us t.clock;
+        t.ndirty <- t.ndirty + 1
+      end
+
+let mark_clean t key =
+  match Lru.peek t.entries key with
+  | None -> ()
+  | Some e ->
+      if e.is_dirty then begin
+        e.is_dirty <- false;
+        t.ndirty <- t.ndirty - 1
+      end
+
+let remove t key =
+  match Lru.remove t.entries key with
+  | None -> ()
+  | Some e -> if e.is_dirty then t.ndirty <- t.ndirty - 1
+
+let fold_dirty f t init =
+  List.fold_left
+    (fun acc (k, e) -> if e.is_dirty then f k e.data acc else acc)
+    init
+    (List.rev (Lru.to_list t.entries))
+
+let dirty_keys t = List.rev (fold_dirty (fun k _ acc -> k :: acc) t [])
+
+let oldest_dirty_age_us t =
+  let now = Clock.now_us t.clock in
+  Lru.fold
+    (fun _ e acc ->
+      if e.is_dirty then
+        let age = now - e.dirty_since_us in
+        match acc with Some a when a >= age -> acc | _ -> Some age
+      else acc)
+    t.entries None
+
+let over_capacity t = t.ndirty > t.capacity
+
+let drop_clean t =
+  let clean =
+    Lru.fold
+      (fun k e acc -> if e.is_dirty then acc else k :: acc)
+      t.entries []
+  in
+  List.iter (fun k -> ignore (Lru.remove t.entries k)) clean
+
+let clear t =
+  Lru.clear t.entries;
+  t.ndirty <- 0
+
+let stats_hits t = t.hits
+let stats_misses t = t.misses

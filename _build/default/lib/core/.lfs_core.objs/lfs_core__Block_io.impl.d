@@ -1,0 +1,1 @@
+lib/core/block_io.ml: Bytes Layout Lfs_cache Lfs_disk State

@@ -1,0 +1,1 @@
+lib/core/block_io.mli: Lfs_cache State

@@ -1,0 +1,1 @@
+lib/core/check.ml: Array Format Hashtbl Imap Inode Inode_store Layout Lfs_vfs List Namespace Option Printf Seg_usage State String

@@ -1,0 +1,1 @@
+lib/core/checkpoint.ml: Array Bytes Layout Lfs_util

@@ -1,0 +1,1 @@
+lib/core/cleaner.ml: Array Block_io Bytes Config Fun Imap Inode Inode_store Layout Lfs_cache Lfs_disk Lfs_vfs List Seg_usage Segwriter State Summary Write_path

@@ -1,0 +1,1 @@
+lib/core/file_io.ml: Array Block_io Bytes Imap Inode Inode_store Int32 Layout Lfs_cache Lfs_disk Lfs_util Lfs_vfs Seg_usage State

@@ -1,0 +1,1 @@
+lib/core/file_io.mli: State

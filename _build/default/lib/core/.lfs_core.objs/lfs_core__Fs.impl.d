@@ -1,0 +1,1 @@
+lib/core/fs.ml: Cleaner Config File_io Imap Inode Inode_store Layout Lfs_cache Lfs_disk Lfs_vfs List Namespace Recovery Seg_usage Segwriter State String Write_path

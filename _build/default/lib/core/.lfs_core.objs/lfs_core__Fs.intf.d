@@ -1,0 +1,1 @@
+lib/core/fs.mli: Config Layout Lfs_disk Lfs_vfs Seg_usage State

@@ -1,0 +1,1 @@
+lib/core/imap.ml: Array Layout Lfs_util List Printf

@@ -1,0 +1,1 @@
+lib/core/inode.ml: Array Bytes Layout Lfs_util Lfs_vfs Printf

@@ -1,0 +1,1 @@
+lib/core/inode_store.ml: Array Block_io Bytes Hashtbl Imap Inode Int32 Layout Lfs_cache Lfs_util Lfs_vfs List Printf Seg_usage State

@@ -1,0 +1,1 @@
+lib/core/inode_store.mli: Inode State

@@ -1,0 +1,1 @@
+lib/core/inspect.ml: Buffer Checkpoint Format Layout Lfs_disk List Printf Seg_usage State Summary

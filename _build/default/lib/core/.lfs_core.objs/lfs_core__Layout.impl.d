@@ -1,0 +1,1 @@
+lib/core/layout.ml: Bytes Config Format Lfs_disk Lfs_util Printf Summary

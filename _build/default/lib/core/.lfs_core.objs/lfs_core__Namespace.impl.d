@@ -1,0 +1,1 @@
+lib/core/namespace.ml: Block_io Inode Inode_store Layout Lfs_cache Lfs_disk Lfs_vfs List Printf State

@@ -1,0 +1,1 @@
+lib/core/recovery.ml: Array Bytes Checkpoint Config Hashtbl Imap Inode Inode_store Layout Lfs_disk Lfs_util Lfs_vfs List Namespace Option Seg_usage State Summary Write_path

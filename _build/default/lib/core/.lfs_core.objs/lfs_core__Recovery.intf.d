@@ -1,0 +1,1 @@
+lib/core/recovery.mli: Config Layout Lfs_disk State

@@ -1,0 +1,1 @@
+lib/core/seg_usage.ml: Array Layout Lfs_util List Printf

@@ -1,0 +1,1 @@
+lib/core/segwriter.ml: Bytes Config Layout Lfs_disk Lfs_vfs List Seg_usage State Summary

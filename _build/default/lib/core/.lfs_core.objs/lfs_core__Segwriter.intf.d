@@ -1,0 +1,1 @@
+lib/core/segwriter.mli: State Summary

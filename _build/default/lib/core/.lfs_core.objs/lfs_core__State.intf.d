@@ -1,0 +1,1 @@
+lib/core/state.mli: Config Hashtbl Imap Inode Layout Lfs_cache Lfs_disk Lfs_util Seg_usage Summary

@@ -1,0 +1,1 @@
+lib/core/summary.ml: Bytes Format Int32 Lfs_util List Printf

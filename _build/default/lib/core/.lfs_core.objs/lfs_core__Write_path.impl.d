@@ -1,0 +1,1 @@
+lib/core/write_path.ml: Array Block_io Bytes Checkpoint Fun Hashtbl Imap Inode Inode_store Int32 Layout Lfs_cache Lfs_disk Lfs_util List Seg_usage Segwriter State Summary

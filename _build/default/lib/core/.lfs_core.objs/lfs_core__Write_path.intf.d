@@ -1,0 +1,1 @@
+lib/core/write_path.mli: State

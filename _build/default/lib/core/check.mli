@@ -1,0 +1,39 @@
+(** Consistency checking (fsck-grade invariants), used by tests and
+    `lfstool fsck`.
+
+    The segment-usage array is maintained incrementally; these functions
+    recompute it from ground truth — the inode map, every live inode's
+    block pointers, and the metadata block addresses — so tests can catch
+    any accounting drift at its source. *)
+
+val recompute_usage : State.t -> int array
+(** Live bytes per segment implied by the reachable state.  Counts, per
+    segment: data and pointer blocks referenced by allocated inodes'
+    block maps ({!Layout.block_size} each), inode slices
+    ({!Layout.inode_bytes} per allocated inode), and the current
+    inode-map and usage-array blocks. *)
+
+val usage_drift : State.t -> (int * int * int) list
+(** [(segment, recorded, recomputed)] for every segment where the
+    incremental estimate differs from ground truth. *)
+
+type issue =
+  | Double_reference of { addr : int; owners : string list }
+      (** one disk block claimed live by two different structures *)
+  | Bad_dir_entry of { dir : int; name : string; inum : int }
+      (** directory entry pointing at an unallocated inode *)
+  | Bad_nlink of { inum : int; nlink : int; entries : int }
+      (** an inode whose link count disagrees with its directory
+          entries *)
+  | Orphan_inode of { inum : int }
+      (** allocated inode with no directory entry *)
+  | Unreadable of { inum : int; reason : string }
+  | Address_out_of_range of { owner : string; addr : int }
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val fsck : State.t -> issue list
+(** Full structural verification: walk the namespace from the root,
+    cross-check it against the inode map, and walk every live block
+    pointer checking for double references and wild addresses.  An empty
+    list means the file system is structurally sound. *)

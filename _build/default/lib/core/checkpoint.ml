@@ -1,0 +1,83 @@
+module Codec = Lfs_util.Codec
+module Crc32 = Lfs_util.Crc32
+
+type t = {
+  timestamp_us : int;
+  seq : int;
+  tail_segment : int;
+  next_inum_hint : int;
+  imap_addrs : int array;
+  usage_addrs : int array;
+}
+
+let magic = 0x4C434B50 (* "LCKP" *)
+let crc_off = 4
+
+let encode layout t =
+  if Array.length t.imap_addrs <> layout.Layout.n_imap_blocks then
+    invalid_arg "Checkpoint.encode: imap_addrs length mismatch";
+  if Array.length t.usage_addrs <> layout.Layout.n_usage_blocks then
+    invalid_arg "Checkpoint.encode: usage_addrs length mismatch";
+  let size = layout.Layout.cp_blocks * layout.Layout.block_size in
+  let e = Codec.encoder ~capacity:size () in
+  Codec.u32 e magic;
+  Codec.u32 e 0 (* crc placeholder *);
+  Codec.int_as_i64 e t.timestamp_us;
+  Codec.int_as_i64 e t.seq;
+  Codec.int_as_i64 e t.tail_segment;
+  Codec.u32 e t.next_inum_hint;
+  Codec.u32 e (Array.length t.imap_addrs);
+  Codec.u32 e (Array.length t.usage_addrs);
+  Array.iter (fun a -> Codec.u32 e a) t.imap_addrs;
+  Array.iter (fun a -> Codec.u32 e a) t.usage_addrs;
+  Codec.pad_to e size;
+  let region = Codec.to_bytes e in
+  Bytes.set_int32_le region crc_off (Crc32.digest_bytes region);
+  region
+
+let decode layout region =
+  match
+    let stored = Bytes.get_int32_le region crc_off in
+    let scratch = Bytes.copy region in
+    Bytes.set_int32_le scratch crc_off 0l;
+    if Crc32.digest_bytes scratch <> stored then None
+    else begin
+      let d = Codec.decoder region in
+      if Codec.read_u32 d <> magic then None
+      else begin
+        Codec.skip d 4;
+        let timestamp_us = Codec.read_int_as_i64 d in
+        let seq = Codec.read_int_as_i64 d in
+        let tail_segment = Codec.read_int_as_i64 d in
+        let next_inum_hint = Codec.read_u32 d in
+        let n_imap = Codec.read_u32 d in
+        let n_usage = Codec.read_u32 d in
+        if
+          n_imap <> layout.Layout.n_imap_blocks
+          || n_usage <> layout.Layout.n_usage_blocks
+        then None
+        else begin
+          let imap_addrs = Array.init n_imap (fun _ -> Codec.read_u32 d) in
+          let usage_addrs = Array.init n_usage (fun _ -> Codec.read_u32 d) in
+          Some
+            { timestamp_us; seq; tail_segment; next_inum_hint; imap_addrs; usage_addrs }
+        end
+      end
+    end
+  with
+  | v -> v
+  | exception Codec.Error _ -> None
+  | exception Invalid_argument _ -> None
+
+let choose a b =
+  match (a, b) with
+  | None, None -> None
+  | (Some _ as v), None | None, (Some _ as v) -> v
+  | Some x, Some y ->
+      (* Timestamps tie only if the clock did not advance between two
+         checkpoints; prefer the higher sequence number then. *)
+      if
+        x.timestamp_us > y.timestamp_us
+        || (x.timestamp_us = y.timestamp_us && x.seq >= y.seq)
+      then Some x
+      else Some y

@@ -1,0 +1,28 @@
+(** Checkpoint regions (§4.4.1).
+
+    A checkpoint records where the inode-map and segment-usage blocks
+    landed in the log, plus the log position, at an instant when the
+    on-disk file system is self-consistent.  Two regions at fixed disk
+    addresses are written alternately; recovery picks the one with the
+    newest timestamp that passes its CRC, so a crash *during* a checkpoint
+    write at worst falls back to the previous checkpoint. *)
+
+type t = {
+  timestamp_us : int;
+  seq : int;  (** sequence number of the last segment written to the log *)
+  tail_segment : int;  (** segment holding [seq]; [-1] if the log is empty *)
+  next_inum_hint : int;
+  imap_addrs : int array;  (** block address of every imap block *)
+  usage_addrs : int array;  (** block address of every usage block *)
+}
+
+val encode : Layout.t -> t -> bytes
+(** Exactly [cp_blocks * block_size] bytes.
+    @raise Invalid_argument if the address arrays do not match the
+    layout. *)
+
+val decode : Layout.t -> bytes -> t option
+(** [None] if magic or CRC fail (torn or never-written region). *)
+
+val choose : t option -> t option -> t option
+(** The newer of two candidate checkpoints. *)

@@ -1,0 +1,21 @@
+(** Byte-granularity file data operations over the cache and block maps.
+
+    Writes only touch the cache (dirty blocks); they reach the log when
+    the write path flushes.  Reads prefer the cache, then the in-memory
+    active segment, then the disk.  Access times are maintained in the
+    inode map, not the inode (paper, footnote 2). *)
+
+val read : State.t -> inum:int -> off:int -> len:int -> bytes
+(** Read up to [len] bytes at [off] (short at end of file; holes read as
+    zeros).  Updates the file's atime.
+    @raise Errors.Error [Einval] on negative offset or length. *)
+
+val write : State.t -> inum:int -> off:int -> bytes -> unit
+(** Write, extending the file as needed.
+    @raise Errors.Error [Efbig] past the maximum file size,
+    [Einval] on a negative offset. *)
+
+val truncate : State.t -> inum:int -> size:int -> unit
+(** Shrink or (sparsely) extend to [size].  Truncating to zero bumps the
+    file's inode-map version, instantly invalidating its old log blocks
+    for the cleaner (§4.2.1). *)

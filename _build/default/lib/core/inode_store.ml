@@ -1,0 +1,247 @@
+module Bitset = Lfs_util.Bitset
+module Cache = Lfs_cache.Block_cache
+module Errors = Lfs_vfs.Errors
+
+let ptrs_of_bytes block n = Array.init n (fun i -> Bytes.get_int32_le block (i * 4) |> Int32.to_int |> ( land ) 0xFFFFFFFF)
+
+let add_new (st : State.t) ino =
+  let e = State.fresh_itable_entry ino in
+  e.ino_dirty <- true;
+  Hashtbl.replace st.itable ino.Inode.inum e;
+  e
+
+let find_loaded (st : State.t) inum = Hashtbl.find_opt st.itable inum
+
+let materialize (st : State.t) ino =
+  match find_loaded st ino.Inode.inum with
+  | Some e -> e
+  | None ->
+      let e = State.fresh_itable_entry ino in
+      Hashtbl.replace st.itable ino.Inode.inum e;
+      e
+
+let find (st : State.t) inum =
+  match find_loaded st inum with
+  | Some e -> e
+  | None ->
+      if not (Imap.is_allocated st.imap inum) then
+        Errors.raise_ (Errors.Enoent (Printf.sprintf "inum %d" inum));
+      (match Imap.location st.imap inum with
+      | None ->
+          (* Allocated but locationless: normally impossible, but a
+             recovered inode map that lost entries to a clobbered block
+             can surface it — report the file missing rather than die. *)
+          Errors.raise_ (Errors.Enoent (Printf.sprintf "inum %d (no inode)" inum))
+      | Some (addr, slot) ->
+          let block = Block_io.read_raw st addr in
+          (match Inode.decode_at block ~off:(slot * Layout.inode_bytes) with
+          | Some ino when ino.Inode.inum = inum -> materialize st ino
+          | Some _ | None ->
+              Errors.raise_
+                (Errors.Enoent
+                   (Printf.sprintf "inum %d (stale inode map entry)" inum))))
+
+let mark_dirty (e : State.itable_entry) = e.ino_dirty <- true
+
+let ppb (st : State.t) = Layout.ptrs_per_block st.layout
+
+(* Loads for reading return [None] when the structure does not exist (the
+   whole range is a hole). *)
+
+let load_ind_for_read st (e : State.itable_entry) =
+  match e.ind_map with
+  | Some m -> Some m
+  | None ->
+      if e.ino.Inode.indirect = Layout.null_addr then None
+      else begin
+        let m = ptrs_of_bytes (Block_io.read_raw st e.ino.Inode.indirect) (ppb st) in
+        e.ind_map <- Some m;
+        Some m
+      end
+
+let ensure_dind_arrays st (e : State.itable_entry) =
+  if Array.length e.dind_children = 0 then begin
+    e.dind_children <- Array.make (ppb st) None;
+    e.dind_child_dirty <- Bitset.create (ppb st)
+  end
+
+let load_dind_top_for_read st (e : State.itable_entry) =
+  match e.dind_top with
+  | Some m -> Some m
+  | None ->
+      if e.ino.Inode.dindirect = Layout.null_addr then None
+      else begin
+        let m =
+          ptrs_of_bytes (Block_io.read_raw st e.ino.Inode.dindirect) (ppb st)
+        in
+        ensure_dind_arrays st e;
+        e.dind_top <- Some m;
+        Some m
+      end
+
+let load_dind_child_for_read st (e : State.itable_entry) child =
+  ensure_dind_arrays st e;
+  match e.dind_children.(child) with
+  | Some m -> Some m
+  | None -> (
+      match load_dind_top_for_read st e with
+      | None -> None
+      | Some top ->
+          if top.(child) = Layout.null_addr then None
+          else begin
+            let m = ptrs_of_bytes (Block_io.read_raw st top.(child)) (ppb st) in
+            e.dind_children.(child) <- Some m;
+            Some m
+          end)
+
+let bmap_read st (e : State.itable_entry) blkno =
+  if blkno < 0 then invalid_arg "bmap_read: negative block";
+  let p = ppb st in
+  if blkno < Inode.ndirect then e.ino.Inode.direct.(blkno)
+  else if blkno < Inode.ndirect + p then begin
+    match load_ind_for_read st e with
+    | None -> Layout.null_addr
+    | Some m -> m.(blkno - Inode.ndirect)
+  end
+  else begin
+    let d = blkno - Inode.ndirect - p in
+    let child = d / p and off = d mod p in
+    if child >= p then Errors.raise_ Errors.Efbig;
+    match load_dind_child_for_read st e child with
+    | None -> Layout.null_addr
+    | Some m -> m.(off)
+  end
+
+(* Loads for writing materialize missing structures as all-holes maps. *)
+
+let ensure_ind_for_write st (e : State.itable_entry) =
+  match load_ind_for_read st e with
+  | Some m -> m
+  | None ->
+      let m = Array.make (ppb st) Layout.null_addr in
+      e.ind_map <- Some m;
+      e.ind_dirty <- true;
+      m
+
+let ensure_dind_top_for_write st (e : State.itable_entry) =
+  match load_dind_top_for_read st e with
+  | Some m -> m
+  | None ->
+      ensure_dind_arrays st e;
+      let m = Array.make (ppb st) Layout.null_addr in
+      e.dind_top <- Some m;
+      e.dind_top_dirty <- true;
+      m
+
+let ensure_dind_child_for_write st (e : State.itable_entry) child =
+  let _top = ensure_dind_top_for_write st e in
+  match load_dind_child_for_read st e child with
+  | Some m -> m
+  | None ->
+      let m = Array.make (ppb st) Layout.null_addr in
+      e.dind_children.(child) <- Some m;
+      Bitset.set e.dind_child_dirty child;
+      m
+
+let bmap_write st (e : State.itable_entry) blkno addr =
+  if blkno < 0 then invalid_arg "bmap_write: negative block";
+  let p = ppb st in
+  if blkno < Inode.ndirect then begin
+    let old = e.ino.Inode.direct.(blkno) in
+    e.ino.Inode.direct.(blkno) <- addr;
+    e.ino_dirty <- true;
+    old
+  end
+  else if blkno < Inode.ndirect + p then begin
+    let m = ensure_ind_for_write st e in
+    let old = m.(blkno - Inode.ndirect) in
+    m.(blkno - Inode.ndirect) <- addr;
+    e.ind_dirty <- true;
+    old
+  end
+  else begin
+    let d = blkno - Inode.ndirect - p in
+    let child = d / p and off = d mod p in
+    if child >= p then Errors.raise_ Errors.Efbig;
+    let m = ensure_dind_child_for_write st e child in
+    let old = m.(off) in
+    m.(off) <- addr;
+    Bitset.set e.dind_child_dirty child;
+    old
+  end
+
+let dind_child_addr st (e : State.itable_entry) child =
+  if child < 0 || child >= ppb st then invalid_arg "dind_child_addr";
+  match load_dind_top_for_read st e with
+  | None -> Layout.null_addr
+  | Some top -> top.(child)
+
+let cleaner_touch_ind st (e : State.itable_entry) =
+  match load_ind_for_read st e with
+  | None -> ()
+  | Some _ -> e.ind_dirty <- true
+
+let cleaner_touch_dind_top st (e : State.itable_entry) =
+  match load_dind_top_for_read st e with
+  | None -> ()
+  | Some _ -> e.dind_top_dirty <- true
+
+let cleaner_touch_dind_child st (e : State.itable_entry) child =
+  match load_dind_child_for_read st e child with
+  | None -> ()
+  | Some _ -> Bitset.set e.dind_child_dirty child
+
+let entry_dirty (e : State.itable_entry) =
+  e.ino_dirty || e.ind_dirty || e.dind_top_dirty
+  || Bitset.cardinal e.dind_child_dirty > 0
+
+let dirty_inodes (st : State.t) =
+  Hashtbl.fold (fun _ e acc -> if entry_dirty e then e :: acc else acc) st.itable []
+  |> List.sort (fun a b ->
+         compare a.State.ino.Inode.inum b.State.ino.Inode.inum)
+
+let clear_clean (st : State.t) =
+  Hashtbl.iter
+    (fun _ e ->
+      if entry_dirty e then
+        invalid_arg "Inode_store.clear_clean: dirty inodes remain")
+    st.itable;
+  Hashtbl.reset st.itable
+
+let loaded_count (st : State.t) = Hashtbl.length st.itable
+
+let release_block (st : State.t) addr ~bytes =
+  if addr <> Layout.null_addr && addr >= st.layout.Layout.first_segment_block
+  then
+    Seg_usage.sub_live st.usage (Layout.segment_of_block st.layout addr) ~bytes
+
+let delete (st : State.t) inum =
+  let e = find st inum in
+  let bs = st.layout.Layout.block_size in
+  let nblocks = Inode.nblocks ~block_size:bs e.ino in
+  for blkno = 0 to nblocks - 1 do
+    let addr = bmap_read st e blkno in
+    if addr <> Layout.null_addr then release_block st addr ~bytes:bs;
+    (* Unconditionally: a block written but never flushed has no disk
+       address yet, but its dirty cache entry must die with the file, or
+       it would haunt the next file to reuse this inum. *)
+    Cache.remove st.cache (Block_io.key_data ~inum ~blkno)
+  done;
+  (* Pointer blocks die with the file. *)
+  let release_raw addr =
+    if addr <> Layout.null_addr then begin
+      release_block st addr ~bytes:bs;
+      Cache.remove st.cache (Block_io.key_raw addr)
+    end
+  in
+  release_raw e.ino.Inode.indirect;
+  (match load_dind_top_for_read st e with
+  | None -> ()
+  | Some top -> Array.iter release_raw top);
+  release_raw e.ino.Inode.dindirect;
+  (* The inode's slice of its inode block dies too. *)
+  (match Imap.location st.imap inum with
+  | Some (addr, _slot) -> release_block st addr ~bytes:Layout.inode_bytes
+  | None -> ());
+  Hashtbl.remove st.itable inum;
+  Imap.free st.imap inum

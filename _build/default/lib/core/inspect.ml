@@ -1,0 +1,75 @@
+module Io = Lfs_disk.Io
+
+let segment_summary (st : State.t) seg =
+  let layout = st.layout in
+  if seg < 0 || seg >= layout.Layout.nsegments then
+    invalid_arg "Inspect.segment_summary";
+  let first = Layout.segment_first_block layout seg in
+  let region =
+    Io.sync_read st.io
+      ~sector:(Layout.sector_of_block layout first)
+      ~count:(layout.Layout.summary_blocks * layout.Layout.block_sectors)
+  in
+  Summary.decode region
+
+let describe_segment (st : State.t) seg =
+  let buf = Buffer.create 256 in
+  let state =
+    match Seg_usage.state st.usage seg with
+    | Seg_usage.Clean -> "clean"
+    | Seg_usage.Dirty -> "dirty"
+    | Seg_usage.Active -> "active"
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "segment %d: %s, %.0f%% utilized (%d live bytes)\n" seg
+       state
+       (Seg_usage.utilization st.usage seg *. 100.0)
+       (Seg_usage.live_bytes st.usage seg));
+  (match segment_summary st seg with
+  | None -> Buffer.add_string buf "  no valid summary (never written or torn)\n"
+  | Some (header, entries) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  log sequence %d, written at t=%.3fs, %d blocks\n"
+           header.Summary.seq
+           (float_of_int header.Summary.timestamp_us /. 1e6)
+           header.Summary.nblocks);
+      List.iteri
+        (fun idx entry ->
+          Buffer.add_string buf
+            (Format.asprintf "  block %3d (@%d): %a\n" idx
+               (Layout.segment_payload_block st.layout ~seg ~idx)
+               Summary.pp_entry entry))
+        entries);
+  Buffer.contents buf
+
+let describe_checkpoints (st : State.t) =
+  let layout = st.layout in
+  let read which =
+    let addr =
+      if which = `A then fst layout.Layout.cp_region
+      else snd layout.Layout.cp_region
+    in
+    Checkpoint.decode layout
+      (Io.sync_read st.io
+         ~sector:(Layout.sector_of_block layout addr)
+         ~count:(layout.Layout.cp_blocks * layout.Layout.block_sectors))
+  in
+  let a = read `A and b = read `B in
+  let describe tag = function
+    | None -> Printf.sprintf "region %s: invalid (torn or never written)\n" tag
+    | Some cp ->
+        Printf.sprintf
+          "region %s: t=%.3fs, log seq %d, tail segment %d, next inum hint %d\n"
+          tag
+          (float_of_int cp.Checkpoint.timestamp_us /. 1e6)
+          cp.Checkpoint.seq cp.Checkpoint.tail_segment
+          cp.Checkpoint.next_inum_hint
+  in
+  let choice =
+    match Checkpoint.choose a b with
+    | None -> "recovery would fail: no valid checkpoint\n"
+    | Some cp ->
+        Printf.sprintf "recovery would use the checkpoint at seq %d\n"
+          cp.Checkpoint.seq
+  in
+  describe "A" a ^ describe "B" b ^ choice

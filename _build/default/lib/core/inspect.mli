@@ -1,0 +1,18 @@
+(** On-disk format inspection: decode what the log actually contains.
+
+    Used by `lfstool dump-segment` and the segment-anatomy example; handy
+    when debugging the cleaner or recovery, since it shows the same
+    summaries those subsystems parse. *)
+
+val segment_summary :
+  State.t -> int -> (Summary.header * Summary.entry list) option
+(** Read and decode segment [i]'s summary region from the disk ([None]
+    if the segment holds no valid summary — never written or torn). *)
+
+val describe_segment : State.t -> int -> string
+(** Human-readable anatomy of one segment: state, utilization, sequence
+    number, and a per-block ownership listing. *)
+
+val describe_checkpoints : State.t -> string
+(** Decode both checkpoint regions and show their timestamps, sequence
+    numbers, and which one recovery would choose. *)

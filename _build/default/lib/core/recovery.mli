@@ -1,0 +1,21 @@
+(** Crash recovery (§4.4).
+
+    Mounting is the paper's "nothing more than the normal mount code":
+    read the newest valid checkpoint region, load the inode-map and
+    segment-usage blocks it points at, and the file system is ready.
+
+    With roll-forward enabled (the paper's "ultimately LFS will..."
+    design, implemented here), mount then scans segment summaries for
+    sequence numbers past the checkpoint, validates each segment's payload
+    CRC, and replays them in order: inode blocks re-point the inode map,
+    imap/usage blocks refresh metadata, and usage accounting is
+    re-estimated.  A torn segment or a sequence gap ends the log.
+
+    Known limitation (fixed only by the directory-operation log of the
+    later SOSP'91 system): a delete performed after the last checkpoint
+    may be resurrected as a directory-less inode by roll-forward. *)
+
+val recover :
+  Lfs_disk.Io.t -> Config.t -> Layout.t -> (State.t, string) result
+(** Build a mounted state from the disk.  Fails if no valid checkpoint
+    region exists (unformatted or doubly-torn disk). *)

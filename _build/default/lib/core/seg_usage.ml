@@ -1,0 +1,147 @@
+module Codec = Lfs_util.Codec
+module Bitset = Lfs_util.Bitset
+
+type seg_state = Clean | Dirty | Active
+
+type t = {
+  layout : Layout.t;
+  live : int array;
+  mtime : int array;
+  states : seg_state array;
+  dirty : Bitset.t;  (* per usage block *)
+  entries_per_block : int;
+  mutable nclean : int;
+}
+
+let create layout =
+  let n = layout.Layout.nsegments in
+  {
+    layout;
+    live = Array.make n 0;
+    mtime = Array.make n 0;
+    states = Array.make n Clean;
+    dirty = Bitset.create layout.Layout.n_usage_blocks;
+    entries_per_block = Layout.usage_entries_per_block layout;
+    nclean = n;
+  }
+
+let nsegments t = Array.length t.live
+
+let check t seg =
+  if seg < 0 || seg >= nsegments t then
+    invalid_arg (Printf.sprintf "Seg_usage: segment %d out of range" seg)
+
+let touch t seg = Bitset.set t.dirty (seg / t.entries_per_block)
+
+let state t seg =
+  check t seg;
+  t.states.(seg)
+
+let set_state t seg s =
+  check t seg;
+  let was = t.states.(seg) in
+  if was <> s then begin
+    if was = Clean then t.nclean <- t.nclean - 1;
+    if s = Clean then t.nclean <- t.nclean + 1;
+    t.states.(seg) <- s;
+    touch t seg
+  end
+
+let nclean t = t.nclean
+
+let live_bytes t seg =
+  check t seg;
+  t.live.(seg)
+
+let payload_bytes t =
+  t.layout.Layout.payload_blocks * t.layout.Layout.block_size
+
+let utilization t seg =
+  check t seg;
+  min 1.0 (float_of_int t.live.(seg) /. float_of_int (payload_bytes t))
+
+let mtime_us t seg =
+  check t seg;
+  t.mtime.(seg)
+
+let add_live t seg ~bytes ~now_us =
+  check t seg;
+  t.live.(seg) <- t.live.(seg) + bytes;
+  t.mtime.(seg) <- max t.mtime.(seg) now_us;
+  touch t seg
+
+let sub_live t seg ~bytes =
+  check t seg;
+  t.live.(seg) <- max 0 (t.live.(seg) - bytes);
+  touch t seg
+
+let reset_segment t seg =
+  check t seg;
+  t.live.(seg) <- 0;
+  t.mtime.(seg) <- 0;
+  touch t seg
+
+let find_clean ?(start = 0) t =
+  let n = nsegments t in
+  let rec scan i remaining =
+    if remaining = 0 then None
+    else if t.states.(i) = Clean then Some i
+    else scan (if i + 1 = n then 0 else i + 1) (remaining - 1)
+  in
+  if n = 0 then None else scan (((start mod n) + n) mod n) n
+
+let total_live_bytes t = Array.fold_left ( + ) 0 t.live
+
+let n_blocks t = t.layout.Layout.n_usage_blocks
+
+let mark_block_dirty t idx =
+  if idx < 0 || idx >= n_blocks t then invalid_arg "Seg_usage.mark_block_dirty";
+  Bitset.set t.dirty idx
+
+let dirty_blocks t =
+  let acc = ref [] in
+  Bitset.iter_set (fun i -> acc := i :: !acc) t.dirty;
+  List.rev !acc
+
+let clear_dirty t = Bitset.clear_all t.dirty
+let mark_all_dirty t = Bitset.fill_all t.dirty
+
+let state_tag = function Clean -> 0 | Dirty -> 1 | Active -> 2
+
+let state_of_tag = function
+  | 0 -> Clean
+  | 1 -> Dirty
+  | 2 -> Active
+  | n -> raise (Codec.Error (Printf.sprintf "seg_usage: bad state tag %d" n))
+
+let encode_block t ~idx =
+  if idx < 0 || idx >= n_blocks t then invalid_arg "Seg_usage.encode_block";
+  let bs = t.layout.Layout.block_size in
+  let e = Codec.encoder ~capacity:bs () in
+  let base = idx * t.entries_per_block in
+  for i = base to base + t.entries_per_block - 1 do
+    if i < nsegments t then begin
+      Codec.u32 e t.live.(i);
+      Codec.int_as_i64 e t.mtime.(i);
+      (* An in-memory Active segment is persisted as Dirty: after a crash
+         the partially-filled segment is just a fragmented segment. *)
+      Codec.u8 e (state_tag (if t.states.(i) = Active then Dirty else t.states.(i)));
+      Codec.pad_to e ((i - base + 1) * Layout.usage_entry_bytes)
+    end
+  done;
+  Codec.pad_to e bs;
+  Codec.to_bytes e
+
+let load_block t ~idx block =
+  if idx < 0 || idx >= n_blocks t then invalid_arg "Seg_usage.load_block";
+  let base = idx * t.entries_per_block in
+  for i = base to min (base + t.entries_per_block) (nsegments t) - 1 do
+    let d =
+      Codec.decoder ~off:((i - base) * Layout.usage_entry_bytes)
+        ~len:Layout.usage_entry_bytes block
+    in
+    t.live.(i) <- Codec.read_u32 d;
+    t.mtime.(i) <- Codec.read_int_as_i64 d;
+    let s = state_of_tag (Codec.read_u8 d) in
+    set_state t i s
+  done

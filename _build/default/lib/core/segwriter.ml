@@ -1,0 +1,86 @@
+module Errors = Lfs_vfs.Errors
+module Io = Lfs_disk.Io
+
+let active_blocks (st : State.t) = if st.seg.seg < 0 then 0 else st.seg.nblocks
+
+let room (st : State.t) =
+  if st.seg.seg < 0 then 0 else st.layout.Layout.payload_blocks - st.seg.nblocks
+
+let flush_active (st : State.t) =
+  let seg = st.seg in
+  if seg.seg >= 0 && seg.nblocks > 0 then begin
+    let layout = st.layout in
+    let bs = layout.Layout.block_size in
+    let payload_len = seg.nblocks * bs in
+    let summary_bytes = layout.Layout.summary_blocks * bs in
+    let header =
+      {
+        Summary.seq = st.next_seq;
+        timestamp_us = Io.now_us st.io;
+        nblocks = seg.nblocks;
+        payload_crc =
+          Summary.payload_crc seg.buf ~off:summary_bytes ~len:payload_len;
+      }
+    in
+    let summary =
+      Summary.encode ~size_bytes:summary_bytes header (List.rev seg.entries_rev)
+    in
+    Bytes.blit summary 0 seg.buf 0 summary_bytes;
+    let first_block = Layout.segment_first_block layout seg.seg in
+    Io.async_write st.io
+      ~sector:(Layout.sector_of_block layout first_block)
+      (Bytes.sub seg.buf 0 (summary_bytes + payload_len));
+    Seg_usage.set_state st.usage seg.seg Seg_usage.Dirty;
+    st.tail_segment <- seg.seg;
+    st.next_seq <- st.next_seq + 1;
+    st.stats.segments_written <- st.stats.segments_written + 1;
+    if seg.nblocks < layout.Layout.payload_blocks then
+      st.stats.partial_segments <- st.stats.partial_segments + 1;
+    seg.seg <- -1;
+    seg.nblocks <- 0;
+    seg.entries_rev <- []
+  end
+  else if seg.seg >= 0 then begin
+    (* Empty active segment: just release it. *)
+    Seg_usage.set_state st.usage seg.seg Seg_usage.Clean;
+    seg.seg <- -1
+  end
+
+let claim (st : State.t) ~privilege =
+  let usage = st.usage in
+  let available = Seg_usage.nclean usage in
+  let enough =
+    match privilege with
+    | `System -> available >= 1
+    | `User -> available > st.config.Config.reserve_segments
+  in
+  if not enough then Errors.raise_ Errors.Enospc;
+  match Seg_usage.find_clean ~start:(st.tail_segment + 1) usage with
+  | None -> Errors.raise_ Errors.Enospc
+  | Some seg_index ->
+      Seg_usage.reset_segment usage seg_index;
+      Seg_usage.set_state usage seg_index Seg_usage.Active;
+      st.seg.seg <- seg_index;
+      st.seg.nblocks <- 0;
+      st.seg.entries_rev <- []
+
+let append (st : State.t) ~privilege ~entry ~live_bytes data =
+  let layout = st.layout in
+  let bs = layout.Layout.block_size in
+  if Bytes.length data <> bs then
+    invalid_arg "Segwriter.append: data must be exactly one block";
+  if st.seg.seg < 0 then claim st ~privilege
+  else if st.seg.nblocks >= layout.Layout.payload_blocks then begin
+    flush_active st;
+    claim st ~privilege
+  end;
+  let seg = st.seg in
+  let idx = seg.nblocks in
+  Bytes.blit data 0 seg.buf ((layout.Layout.summary_blocks + idx) * bs) bs;
+  seg.entries_rev <- entry :: seg.entries_rev;
+  seg.nblocks <- idx + 1;
+  let addr = Layout.segment_payload_block layout ~seg:seg.seg ~idx in
+  Seg_usage.add_live st.usage seg.seg ~bytes:live_bytes
+    ~now_us:(Io.now_us st.io);
+  st.stats.blocks_logged <- st.stats.blocks_logged + 1;
+  addr

@@ -1,0 +1,36 @@
+(** Segment assembly and log append (§4.1, §4.3.5).
+
+    Blocks are appended to an in-memory segment buffer; when the segment
+    fills (or a sync/checkpoint forces a partial segment) the summary
+    block and payload go to disk in a single large asynchronous write.
+    Reads of not-yet-flushed blocks are served from the buffer by
+    {!Block_io}.
+
+    [`User] appends refuse to consume the reserve segments so the cleaner
+    can always regenerate free space; the cleaner and checkpoint use
+    [`System]. *)
+
+val append :
+  State.t ->
+  privilege:State.privilege ->
+  entry:Summary.entry ->
+  live_bytes:int ->
+  bytes ->
+  int
+(** Append one block (exactly [block_size] bytes) to the log; returns its
+    disk block address.  Accounts [live_bytes] of live data to the
+    segment.  Flushes the active segment and claims a clean one as
+    needed.
+    @raise Errors.Error [Enospc] when no segment is available at this
+    privilege. *)
+
+val flush_active : State.t -> unit
+(** Write out the active segment (possibly partial) and close it; no-op
+    when the buffer is empty.  The write is asynchronous. *)
+
+val active_blocks : State.t -> int
+(** Payload blocks currently buffered. *)
+
+val room : State.t -> int
+(** Payload blocks still free in the active segment (0 when none is
+    active). *)

@@ -1,0 +1,139 @@
+(** Shared mutable state of a mounted LFS instance.
+
+    This module only declares the record types threaded through the
+    operational modules ({!Block_io}, {!Inode_store}, {!Segwriter},
+    {!Write_path}, {!File_io}, {!Namespace}, {!Cleaner}, {!Recovery});
+    behaviour lives there.  The public face of the library is {!Fs}. *)
+
+module Bitset = Lfs_util.Bitset
+
+(** Cache-owner conventions.  Real files use their (positive) inum;
+    by-address blocks (inode blocks, indirect blocks read from disk) use
+    {!owner_raw} with the disk address as the block number. *)
+let owner_raw = -3
+
+(** In-memory view of one file: the inode plus lazily-loaded pointer
+    maps.  The maps mirror the on-disk indirect blocks; dirty flags say
+    which of them must be rewritten to the log at the next flush. *)
+type itable_entry = {
+  ino : Inode.t;
+  mutable ino_dirty : bool;
+  mutable ind_map : int array option;  (** single-indirect pointers *)
+  mutable ind_dirty : bool;
+  mutable dind_top : int array option;  (** double-indirect child addresses *)
+  mutable dind_top_dirty : bool;
+  mutable dind_children : int array option array;
+      (** parsed double-indirect children (lazy; empty array until the
+          file grows past the single-indirect range) *)
+  mutable dind_child_dirty : Bitset.t;
+}
+
+(** The segment being assembled in memory (§4.1).  [seg = -1] means no
+    segment is currently active. *)
+type segbuf = {
+  mutable seg : int;
+  mutable buf : bytes;  (** [segment_size] bytes; payload starts at block 1 *)
+  mutable nblocks : int;  (** payload blocks filled *)
+  mutable entries_rev : Summary.entry list;
+}
+
+type lfs_stats = {
+  mutable segments_written : int;
+  mutable partial_segments : int;
+  mutable blocks_logged : int;  (** payload blocks appended to the log *)
+  mutable segments_cleaned : int;
+  mutable cleaner_bytes_read : int;
+  mutable cleaner_bytes_moved : int;
+  mutable cleaner_passes : int;
+  mutable checkpoints : int;
+  mutable rollforward_segments : int;
+}
+
+let fresh_stats () =
+  {
+    segments_written = 0;
+    partial_segments = 0;
+    blocks_logged = 0;
+    segments_cleaned = 0;
+    cleaner_bytes_read = 0;
+    cleaner_bytes_moved = 0;
+    cleaner_passes = 0;
+    checkpoints = 0;
+    rollforward_segments = 0;
+  }
+
+(** Write privilege: [`User] writes may not consume the reserve segments
+    (so the cleaner always has room to work); [`System] writes (cleaner,
+    checkpoint) may. *)
+type privilege = [ `User | `System ]
+
+type t = {
+  io : Lfs_disk.Io.t;
+  config : Config.t;
+  layout : Layout.t;
+  cache : Lfs_cache.Block_cache.t;
+  imap : Imap.t;
+  usage : Seg_usage.t;
+  itable : (int, itable_entry) Hashtbl.t;
+  seg : segbuf;
+  mutable next_seq : int;  (** sequence number for the next segment write *)
+  mutable tail_segment : int;  (** last segment written; -1 if none *)
+  mutable imap_block_addr : int array;
+  mutable usage_block_addr : int array;
+  mutable last_checkpoint_us : int;
+  mutable last_cp_seq : int;
+      (** highest segment sequence number covered by an on-disk
+          checkpoint region; roll-forward starts after it *)
+  mutable cp_flip : bool;  (** next checkpoint goes to region B *)
+  mutable cleaning : bool;  (** re-entrancy guard for the cleaner *)
+  mutable flushing : bool;  (** re-entrancy guard for the write path *)
+  mutable policy : Config.policy;  (** runtime-adjustable cleaning policy *)
+  mutable auto_clean : bool;  (** runtime-adjustable *)
+  stats : lfs_stats;
+}
+
+let root_inum = 1
+
+let create io config layout =
+  {
+    io;
+    config;
+    layout;
+    cache =
+      Lfs_cache.Block_cache.create ~capacity_blocks:config.Config.cache_blocks
+        (Lfs_disk.Io.clock io);
+    imap = Imap.create layout;
+    usage = Seg_usage.create layout;
+    itable = Hashtbl.create 256;
+    seg =
+      {
+        seg = -1;
+        buf = Bytes.create (layout.Layout.seg_blocks * layout.Layout.block_size);
+        nblocks = 0;
+        entries_rev = [];
+      };
+    next_seq = 1;
+    tail_segment = -1;
+    imap_block_addr = Array.make layout.Layout.n_imap_blocks Layout.null_addr;
+    usage_block_addr = Array.make layout.Layout.n_usage_blocks Layout.null_addr;
+    last_checkpoint_us = 0;
+    last_cp_seq = 0;
+    cp_flip = false;
+    cleaning = false;
+    flushing = false;
+    policy = config.Config.policy;
+    auto_clean = config.Config.auto_clean;
+    stats = fresh_stats ();
+  }
+
+let fresh_itable_entry ino =
+  {
+    ino;
+    ino_dirty = false;
+    ind_map = None;
+    ind_dirty = false;
+    dind_top = None;
+    dind_top_dirty = false;
+    dind_children = [||];
+    dind_child_dirty = Bitset.create 0;
+  }

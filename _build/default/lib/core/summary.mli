@@ -1,0 +1,52 @@
+(** Segment summary blocks (§4.3.1).
+
+    The first block of every segment describes the segment's payload: one
+    entry per payload block identifying its owner, so the cleaner can
+    decide liveness (§4.3.3) and crash recovery can roll the log forward
+    (§4.4).  The header carries a monotonic sequence number and timestamp
+    (they order segments into the logical log) and a CRC over the payload
+    so roll-forward never replays a torn segment write. *)
+
+type entry =
+  | Data of { inum : int; blkno : int; version : int }
+      (** a data block of file [inum]; [version] is the file's inode-map
+          version at write time, letting the cleaner skip deleted files
+          cheaply *)
+  | Indirect of { inum : int; idx : int }
+      (** a pointer block: [idx = 0] is the single-indirect block,
+          [idx >= 1] is child [idx - 1] of the double-indirect tree *)
+  | Dindirect of { inum : int }  (** the double-indirect top block *)
+  | Inode_block
+      (** a block of packed inodes; the block contents name their inums *)
+  | Imap_block of { idx : int }  (** inode-map block [idx] *)
+  | Usage_block of { idx : int }  (** segment-usage-array block [idx] *)
+
+val pp_entry : Format.formatter -> entry -> unit
+val equal_entry : entry -> entry -> bool
+
+type header = {
+  seq : int;  (** position of this segment in the logical log *)
+  timestamp_us : int;
+  nblocks : int;  (** valid payload blocks (partial segments write fewer) *)
+  payload_crc : int32;
+}
+
+val max_entries : size_bytes:int -> int
+(** How many payload blocks a summary region of [size_bytes] can
+    describe. *)
+
+val blocks_needed : block_size:int -> seg_blocks:int -> int
+(** Smallest summary region (in blocks) able to describe the remaining
+    payload of a [seg_blocks]-block segment. *)
+
+val encode : size_bytes:int -> header -> entry list -> bytes
+(** A full summary region: header, entries, CRC.  The entry list length
+    must equal [header.nblocks] and fit in {!max_entries}.
+    @raise Invalid_argument otherwise. *)
+
+val decode : bytes -> (header * entry list) option
+(** [None] if the region is not a valid summary (bad magic or CRC) —
+    e.g. a never-written or torn segment. *)
+
+val payload_crc : bytes -> off:int -> len:int -> int32
+(** CRC used for [header.payload_crc]. *)

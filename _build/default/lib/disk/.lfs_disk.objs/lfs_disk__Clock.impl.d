@@ -1,0 +1,1 @@
+lib/disk/clock.ml: Format

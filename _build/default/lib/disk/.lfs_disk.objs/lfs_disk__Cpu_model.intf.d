@@ -1,0 +1,1 @@
+lib/disk/cpu_model.mli:

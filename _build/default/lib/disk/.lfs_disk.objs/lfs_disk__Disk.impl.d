@@ -1,0 +1,1 @@
+lib/disk/disk.ml: Bytes Geometry Printf

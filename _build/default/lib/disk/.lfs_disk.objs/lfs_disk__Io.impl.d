@@ -1,0 +1,1 @@
+lib/disk/io.ml: Bytes Clock Cpu_model Disk Geometry List

@@ -1,0 +1,1 @@
+lib/disk/io.mli: Clock Cpu_model Disk

@@ -1,0 +1,19 @@
+type t = { mutable now : int }
+
+let create () = { now = 0 }
+let now_us t = t.now
+
+let advance_us t us =
+  if us < 0 then invalid_arg "Clock.advance_us: negative step";
+  t.now <- t.now + us
+
+let advance_to_us t target = if target > t.now then t.now <- target
+
+let seconds t = float_of_int t.now /. 1_000_000.0
+
+let pp_duration_us ppf us =
+  if us >= 1_000_000 then
+    Format.fprintf ppf "%.2f s" (float_of_int us /. 1_000_000.0)
+  else if us >= 1_000 then
+    Format.fprintf ppf "%.2f ms" (float_of_int us /. 1_000.0)
+  else Format.fprintf ppf "%d us" us

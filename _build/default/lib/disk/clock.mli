@@ -1,0 +1,25 @@
+(** Simulated time.
+
+    All performance numbers in the reproduction are ratios of work to
+    *simulated* time: CPU costs and disk service times advance this clock,
+    never the wall clock, so every run is deterministic. *)
+
+type t
+
+val create : unit -> t
+(** A clock at time zero. *)
+
+val now_us : t -> int
+(** Current simulated time in microseconds. *)
+
+val advance_us : t -> int -> unit
+(** [advance_us t us] moves time forward.  @raise Invalid_argument on a
+    negative step. *)
+
+val advance_to_us : t -> int -> unit
+(** Move forward to an absolute time; no-op if already past it. *)
+
+val seconds : t -> float
+
+val pp_duration_us : Format.formatter -> int -> unit
+(** Render a duration, e.g. ["1.25 s"] or ["320 us"]. *)

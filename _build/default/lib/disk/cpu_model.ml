@@ -1,0 +1,10 @@
+type t = { syscall_us : int; per_kb_us : int; lookup_us : int }
+
+let sun4_260 = { syscall_us = 1_400; per_kb_us = 350; lookup_us = 250 }
+let free = { syscall_us = 0; per_kb_us = 0; lookup_us = 0 }
+
+let scale t f =
+  let s x = int_of_float (float_of_int x *. f) in
+  { syscall_us = s t.syscall_us; per_kb_us = s t.per_kb_us; lookup_us = s t.lookup_us }
+
+let copy_us t ~bytes = (bytes * t.per_kb_us + 1023) / 1024

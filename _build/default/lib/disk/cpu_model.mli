@@ -1,0 +1,27 @@
+(** CPU cost model.
+
+    The paper's machines are decades old; instead of wall-clock timing we
+    charge simulated CPU time per operation, calibrated to the Sun-4/260
+    (16.6 MHz SPARC, ~10 MIPS) used in Section 5.  The LFS small-file
+    results depend on this: with synchronous writes eliminated, LFS is
+    CPU-bound, so its absolute files/sec figure is set by these costs. *)
+
+type t = {
+  syscall_us : int;  (** fixed cost of entering a file-system operation *)
+  per_kb_us : int;  (** cost of moving 1 KB between user and cache *)
+  lookup_us : int;  (** cost of one directory-entry lookup/update *)
+}
+
+val sun4_260 : t
+(** Calibrated to land the paper's absolute ranges (about 5–6 ms of CPU
+    for a small-file create; see EXPERIMENTS.md). *)
+
+val free : t
+(** All costs zero — used by unit tests that check pure disk timing. *)
+
+val scale : t -> float -> t
+(** [scale t f] multiplies every cost by [f] (e.g. [scale sun4_260 0.1]
+    models a 10x faster CPU, the paper's scaling argument). *)
+
+val copy_us : t -> bytes:int -> int
+(** CPU time to copy [bytes] through the cache, at [per_kb_us]. *)

@@ -1,0 +1,124 @@
+exception Crash
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable sectors_read : int;
+  mutable sectors_written : int;
+  mutable seeks : int;
+  mutable busy_us : int;
+}
+
+type t = {
+  geometry : Geometry.t;
+  store : Bytes.t;
+  stats : stats;
+  mutable head_cyl : int;
+  mutable next_sector : int;  (* sector following the last transfer *)
+  mutable crash_countdown : int option;
+  mutable crashed : bool;
+}
+
+let fresh_stats () =
+  { reads = 0; writes = 0; sectors_read = 0; sectors_written = 0; seeks = 0; busy_us = 0 }
+
+let create geometry =
+  {
+    geometry;
+    store = Bytes.make (Geometry.size_bytes geometry) '\000';
+    stats = fresh_stats ();
+    head_cyl = 0;
+    next_sector = 0;
+    crash_countdown = None;
+    crashed = false;
+  }
+
+let geometry t = t.geometry
+let stats t = t.stats
+
+let reset_stats t =
+  let s = t.stats in
+  s.reads <- 0;
+  s.writes <- 0;
+  s.sectors_read <- 0;
+  s.sectors_written <- 0;
+  s.seeks <- 0;
+  s.busy_us <- 0
+
+let check_range t sector count =
+  if sector < 0 || count <= 0 || sector + count > t.geometry.Geometry.sectors then
+    invalid_arg
+      (Printf.sprintf "Disk: request [%d, +%d) out of range (%d sectors)"
+         sector count t.geometry.Geometry.sectors)
+
+(* Service time for a request starting at [sector] spanning [count]
+   sectors, updating head state.  A request that continues exactly where
+   the previous transfer ended streams with no positioning delay. *)
+let service t ~sector ~count =
+  let g = t.geometry in
+  let cyl = Geometry.cylinder_of_sector g sector in
+  let positioning =
+    if sector = t.next_sector then 0
+    else begin
+      let seek = Geometry.seek_us g ~from_cyl:t.head_cyl ~to_cyl:cyl in
+      if seek > 0 then t.stats.seeks <- t.stats.seeks + 1;
+      seek + Geometry.avg_rotational_latency_us g
+    end
+  in
+  t.head_cyl <- Geometry.cylinder_of_sector g (sector + count - 1);
+  t.next_sector <- sector + count;
+  positioning + Geometry.transfer_us g ~sectors:count
+
+let read t ~sector ~count =
+  check_range t sector count;
+  let us = service t ~sector ~count in
+  let s = t.stats in
+  s.reads <- s.reads + 1;
+  s.sectors_read <- s.sectors_read + count;
+  s.busy_us <- s.busy_us + us;
+  let ss = t.geometry.Geometry.sector_size in
+  (Bytes.sub t.store (sector * ss) (count * ss), us)
+
+let write t ~sector data =
+  if t.crashed then raise Crash;
+  let ss = t.geometry.Geometry.sector_size in
+  if Bytes.length data = 0 || Bytes.length data mod ss <> 0 then
+    invalid_arg "Disk.write: data must be a positive multiple of sector size";
+  let count = Bytes.length data / ss in
+  check_range t sector count;
+  let persisted =
+    match t.crash_countdown with
+    | None -> count
+    | Some remaining ->
+        let p = min remaining count in
+        t.crash_countdown <- Some (remaining - p);
+        if remaining <= count then t.crashed <- true;
+        p
+  in
+  Bytes.blit data 0 t.store (sector * ss) (persisted * ss);
+  if t.crashed then raise Crash;
+  let us = service t ~sector ~count in
+  let s = t.stats in
+  s.writes <- s.writes + 1;
+  s.sectors_written <- s.sectors_written + count;
+  s.busy_us <- s.busy_us + us;
+  us
+
+let set_crash_after t ~sectors =
+  if sectors < 0 then invalid_arg "Disk.set_crash_after";
+  t.crash_countdown <- Some sectors
+
+let clear_crash t =
+  t.crash_countdown <- None;
+  t.crashed <- false
+
+let crashed t = t.crashed
+
+let snapshot t = Bytes.copy t.store
+
+let restore t media =
+  if Bytes.length media <> Bytes.length t.store then
+    invalid_arg "Disk.restore: snapshot size mismatch";
+  Bytes.blit media 0 t.store 0 (Bytes.length media);
+  t.head_cyl <- 0;
+  t.next_sector <- 0

@@ -1,0 +1,57 @@
+(** A simulated sector-addressable disk.
+
+    Stores data in memory and computes a service time for every request
+    from the {!Geometry} model.  The disk itself never advances the clock;
+    the {!Io} scheduler decides whether the caller waits (synchronous I/O)
+    or the time is absorbed by the device queue (asynchronous I/O).
+
+    Crash injection: [set_crash_after] arms a countdown of sectors that may
+    still be persisted.  A write that exhausts the countdown is applied
+    only partially (a torn write) and raises {!Crash}, simulating a power
+    cut mid-transfer.  Subsequent writes also raise {!Crash} until the
+    countdown is cleared, modelling a machine that is down. *)
+
+exception Crash
+(** Raised by a write when the armed crash point is reached. *)
+
+type t
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable sectors_read : int;
+  mutable sectors_written : int;
+  mutable seeks : int;  (** requests that required head movement *)
+  mutable busy_us : int;  (** total service time of all requests *)
+}
+
+val create : Geometry.t -> t
+val geometry : t -> Geometry.t
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val read : t -> sector:int -> count:int -> bytes * int
+(** [read t ~sector ~count] returns the data of [count] sectors and the
+    service time in microseconds.  @raise Invalid_argument if out of
+    range. *)
+
+val write : t -> sector:int -> bytes -> int
+(** [write t ~sector data] writes [data] (whose length must be a multiple
+    of the sector size) and returns the service time.
+    @raise Crash if a crash point is reached (the write may be torn).
+    @raise Invalid_argument if out of range or misaligned. *)
+
+val set_crash_after : t -> sectors:int -> unit
+(** Arm a crash after [sectors] more sectors have been persisted. *)
+
+val clear_crash : t -> unit
+(** Disarm the crash and bring the "machine" back up (after this, reads
+    and writes succeed again; the torn state remains on disk). *)
+
+val crashed : t -> bool
+
+val snapshot : t -> bytes
+(** Copy of the entire media, for test assertions. *)
+
+val restore : t -> bytes -> unit
+(** Overwrite the media from a snapshot.  Head position is reset. *)

@@ -1,0 +1,78 @@
+type t = {
+  sector_size : int;
+  sectors : int;
+  sectors_per_track : int;
+  tracks_per_cylinder : int;
+  rpm : int;
+  track_to_track_us : int;
+  max_seek_us : int;
+}
+
+(* WREN IV defaults: 42 sectors/track at 3600 RPM gives
+   42 * 512 * 60 = 1.29 MB/s, and the seek curve below averages ~17.5 ms,
+   matching the paper's disk. *)
+let v ?(sector_size = 512) ?(sectors_per_track = 42) ?(tracks_per_cylinder = 9)
+    ?(rpm = 3600) ?(track_to_track_us = 4_000) ?(max_seek_us = 44_000)
+    ~size_bytes () =
+  if size_bytes <= 0 then invalid_arg "Geometry.v: size_bytes must be positive";
+  if sector_size <= 0 || sectors_per_track <= 0 || tracks_per_cylinder <= 0 then
+    invalid_arg "Geometry.v: nonpositive geometry parameter";
+  if rpm <= 0 then invalid_arg "Geometry.v: rpm must be positive";
+  let sectors_per_cyl = sectors_per_track * tracks_per_cylinder in
+  let sectors =
+    (* Round up to whole cylinders so every sector has a well-defined
+       cylinder. *)
+    let raw = (size_bytes + sector_size - 1) / sector_size in
+    (raw + sectors_per_cyl - 1) / sectors_per_cyl * sectors_per_cyl
+  in
+  {
+    sector_size;
+    sectors;
+    sectors_per_track;
+    tracks_per_cylinder;
+    rpm;
+    track_to_track_us;
+    max_seek_us;
+  }
+
+let wren_iv ~size_bytes = v ~size_bytes ()
+
+let size_bytes t = t.sectors * t.sector_size
+
+let cylinders t =
+  t.sectors / (t.sectors_per_track * t.tracks_per_cylinder)
+
+let cylinder_of_sector t sector =
+  sector / (t.sectors_per_track * t.tracks_per_cylinder)
+
+let rotation_us t = 60_000_000 / t.rpm
+let avg_rotational_latency_us t = rotation_us t / 2
+
+let bandwidth_bytes_per_sec t =
+  float_of_int (t.sectors_per_track * t.sector_size)
+  /. (float_of_int (rotation_us t) /. 1_000_000.0)
+
+let seek_us t ~from_cyl ~to_cyl =
+  let d = abs (to_cyl - from_cyl) in
+  if d = 0 then 0
+  else
+    let span = max 1 (cylinders t - 1) in
+    t.track_to_track_us
+    + (t.max_seek_us - t.track_to_track_us) * d / span
+
+let transfer_us t ~sectors =
+  (* Per-sector media time, rounded up so a transfer is never free. *)
+  let per_sector = (rotation_us t + t.sectors_per_track - 1) / t.sectors_per_track in
+  sectors * per_sector
+
+let avg_seek_us t =
+  seek_us t ~from_cyl:0 ~to_cyl:(cylinders t / 3)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "disk: %s, %d cyl, %d B/sector, %.2f MB/s, avg seek %.1f ms, rot %.1f ms"
+    (Lfs_util.Table.fmt_bytes (size_bytes t))
+    (cylinders t) t.sector_size
+    (bandwidth_bytes_per_sec t /. 1_048_576.0)
+    (float_of_int (avg_seek_us t) /. 1000.0)
+    (float_of_int (rotation_us t) /. 1000.0)

@@ -1,0 +1,61 @@
+(** Disk geometry and service-time model.
+
+    The simulator charges each request
+    [seek(cylinder distance) + rotational latency + transfer time],
+    with no seek or rotational delay for a transfer that continues
+    sequentially from the previous one.  This captures the two disk
+    properties the paper's argument rests on: random access costs tens of
+    milliseconds regardless of size, while sequential access streams at
+    full bandwidth. *)
+
+type t = {
+  sector_size : int;  (** bytes per sector *)
+  sectors : int;  (** total sectors on the device *)
+  sectors_per_track : int;
+  tracks_per_cylinder : int;
+  rpm : int;
+  track_to_track_us : int;  (** single-cylinder seek time *)
+  max_seek_us : int;  (** full-stroke seek time *)
+}
+
+val v :
+  ?sector_size:int ->
+  ?sectors_per_track:int ->
+  ?tracks_per_cylinder:int ->
+  ?rpm:int ->
+  ?track_to_track_us:int ->
+  ?max_seek_us:int ->
+  size_bytes:int ->
+  unit ->
+  t
+(** [v ~size_bytes ()] is a WREN-IV-like disk (the paper's test disk:
+    1.3 MB/s max transfer, ~17.5 ms average seek, 3600 RPM) scaled to hold
+    at least [size_bytes].  @raise Invalid_argument on nonpositive sizes. *)
+
+val wren_iv : size_bytes:int -> t
+(** The default paper-calibrated geometry; same as [v ~size_bytes ()]. *)
+
+val size_bytes : t -> int
+val cylinders : t -> int
+val cylinder_of_sector : t -> int -> int
+
+val bandwidth_bytes_per_sec : t -> float
+(** Peak media transfer rate implied by the geometry. *)
+
+val rotation_us : t -> int
+(** Time for one full revolution. *)
+
+val avg_rotational_latency_us : t -> int
+(** Half a revolution. *)
+
+val seek_us : t -> from_cyl:int -> to_cyl:int -> int
+(** Seek time between cylinders; [0] when equal. *)
+
+val transfer_us : t -> sectors:int -> int
+(** Media transfer time for [sectors] consecutive sectors. *)
+
+val avg_seek_us : t -> int
+(** Mean seek time over uniformly random cylinder pairs (approximated as
+    the seek covering one third of the stroke). *)
+
+val pp : Format.formatter -> t -> unit

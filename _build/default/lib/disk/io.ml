@@ -1,0 +1,88 @@
+type request = {
+  issued_at_us : int;
+  kind : [ `Read | `Write ];
+  sync : bool;
+  sector : int;
+  sectors : int;
+  service_us : int;
+  sequential : bool;
+}
+
+type t = {
+  disk : Disk.t;
+  clock : Clock.t;
+  cpu : Cpu_model.t;
+  max_backlog_us : int;
+  mutable busy_until_us : int;
+  mutable recording : bool;
+  mutable log : request list;  (* newest first *)
+}
+
+let create ?(max_backlog_us = 2_000_000) disk clock cpu =
+  if max_backlog_us < 0 then invalid_arg "Io.create: negative backlog";
+  { disk; clock; cpu; max_backlog_us; busy_until_us = 0; recording = false; log = [] }
+
+let disk t = t.disk
+let clock t = t.clock
+let cpu t = t.cpu
+let now_us t = Clock.now_us t.clock
+
+let charge_cpu t us = Clock.advance_us t.clock us
+let charge_syscall t = charge_cpu t t.cpu.Cpu_model.syscall_us
+let charge_copy t ~bytes = charge_cpu t (Cpu_model.copy_us t.cpu ~bytes)
+let charge_lookup t = charge_cpu t t.cpu.Cpu_model.lookup_us
+
+let record t ~kind ~sync ~sector ~sectors ~service_us ~sequential =
+  if t.recording then
+    t.log <-
+      { issued_at_us = now_us t; kind; sync; sector; sectors; service_us; sequential }
+      :: t.log
+
+let sector_size t = (Disk.geometry t.disk).Geometry.sector_size
+
+(* The device serves requests in issue order; a request begins when both
+   the caller and the device are ready. *)
+let start_time t = max (now_us t) t.busy_until_us
+
+let sync_read t ~sector ~count =
+  let start = start_time t in
+  let before_seeks = (Disk.stats t.disk).Disk.seeks in
+  let data, service_us = Disk.read t.disk ~sector ~count in
+  let sequential = (Disk.stats t.disk).Disk.seeks = before_seeks in
+  record t ~kind:`Read ~sync:true ~sector ~sectors:count ~service_us ~sequential;
+  Clock.advance_to_us t.clock (start + service_us);
+  t.busy_until_us <- Clock.now_us t.clock;
+  data
+
+let sync_write t ~sector data =
+  let start = start_time t in
+  let before_seeks = (Disk.stats t.disk).Disk.seeks in
+  let service_us = Disk.write t.disk ~sector data in
+  let sectors = Bytes.length data / sector_size t in
+  let sequential = (Disk.stats t.disk).Disk.seeks = before_seeks in
+  record t ~kind:`Write ~sync:true ~sector ~sectors ~service_us ~sequential;
+  Clock.advance_to_us t.clock (start + service_us);
+  t.busy_until_us <- Clock.now_us t.clock
+
+let async_write t ~sector data =
+  let start = start_time t in
+  let before_seeks = (Disk.stats t.disk).Disk.seeks in
+  let service_us = Disk.write t.disk ~sector data in
+  let sectors = Bytes.length data / sector_size t in
+  let sequential = (Disk.stats t.disk).Disk.seeks = before_seeks in
+  record t ~kind:`Write ~sync:false ~sector ~sectors ~service_us ~sequential;
+  t.busy_until_us <- start + service_us;
+  (* Writer throttling: the application may run ahead of the disk only by
+     the write-buffer depth. *)
+  if t.busy_until_us - Clock.now_us t.clock > t.max_backlog_us then
+    Clock.advance_to_us t.clock (t.busy_until_us - t.max_backlog_us)
+
+let drain t = Clock.advance_to_us t.clock t.busy_until_us
+
+let backlog_us t = max 0 (t.busy_until_us - Clock.now_us t.clock)
+
+let set_recording t on =
+  t.recording <- on;
+  t.log <- []
+
+let requests t = List.rev t.log

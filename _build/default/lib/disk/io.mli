@@ -1,0 +1,66 @@
+(** The I/O scheduler: joins a {!Disk}, a {!Clock} and a {!Cpu_model} and
+    decides who pays for each request.
+
+    - [sync_read]/[sync_write] make the caller wait: the clock advances
+      past any queued device work, then by the request's service time.
+      These model the synchronous metadata writes that cripple FFS.
+    - [async_write] queues work on the device: the device busy horizon
+      advances but the caller does not wait — unless the backlog exceeds
+      [max_backlog_us], in which case the caller is throttled (the file
+      cache is full and the application must wait for the disk).  This is
+      how LFS's segment writes overlap with computation, and why its
+      sustained bandwidth is still bounded by the disk.
+    - [drain] waits for the device to go idle ([sync]/[fsync], and phase
+      boundaries in benchmarks).
+
+    The scheduler can record a request log; the Figure 1/2 experiment
+    audits it to show FFS's eight small random writes versus LFS's single
+    large sequential one. *)
+
+type t
+
+type request = {
+  issued_at_us : int;
+  kind : [ `Read | `Write ];
+  sync : bool;
+  sector : int;
+  sectors : int;
+  service_us : int;
+  sequential : bool;  (** continued the previous transfer with no seek *)
+}
+
+val create : ?max_backlog_us:int -> Disk.t -> Clock.t -> Cpu_model.t -> t
+(** Default backlog: 2 s of queued device time (roughly two segment
+    writes ahead on the paper's disk). *)
+
+val disk : t -> Disk.t
+val clock : t -> Clock.t
+val cpu : t -> Cpu_model.t
+val now_us : t -> int
+
+(** {1 CPU accounting} *)
+
+val charge_cpu : t -> int -> unit
+val charge_syscall : t -> unit
+val charge_copy : t -> bytes:int -> unit
+val charge_lookup : t -> unit
+
+(** {1 Disk requests} *)
+
+val sync_read : t -> sector:int -> count:int -> bytes
+val sync_write : t -> sector:int -> bytes -> unit
+val async_write : t -> sector:int -> bytes -> unit
+val drain : t -> unit
+(** Advance the clock until the device is idle. *)
+
+val backlog_us : t -> int
+(** Queued device time not yet reached by the clock. *)
+
+(** {1 Request log} *)
+
+val set_recording : t -> bool -> unit
+(** Enable/disable the request log (disabled by default; enabling clears
+    any previous log). *)
+
+val requests : t -> request list
+(** Recorded requests, oldest first. *)

@@ -1,0 +1,1 @@
+lib/ffs/alloc.ml: Array Bytes Fun Layout Lfs_util List

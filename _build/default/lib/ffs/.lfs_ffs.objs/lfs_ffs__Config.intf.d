@@ -1,0 +1,1 @@
+lib/ffs/config.mli:

@@ -1,0 +1,1 @@
+lib/ffs/fs.ml: Alloc Array Bytes Config Hashtbl Inode Int32 Layout Lfs_cache Lfs_disk Lfs_vfs List Printf String

@@ -1,0 +1,1 @@
+lib/ffs/fs.mli: Config Layout Lfs_disk Lfs_vfs

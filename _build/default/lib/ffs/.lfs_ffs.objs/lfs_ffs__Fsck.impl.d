@@ -1,0 +1,1 @@
+lib/ffs/fsck.ml: Array Bytes Format Hashtbl Inode Int32 Layout Lfs_disk Lfs_util Lfs_vfs List

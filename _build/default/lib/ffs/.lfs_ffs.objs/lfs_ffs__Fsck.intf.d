@@ -1,0 +1,1 @@
+lib/ffs/fsck.mli: Format Lfs_disk

@@ -1,0 +1,1 @@
+lib/ffs/inode.mli: Layout Lfs_vfs

@@ -1,0 +1,1 @@
+lib/ffs/layout.ml: Bytes Config Format Lfs_disk Lfs_util Printf

@@ -1,0 +1,1 @@
+lib/ffs/layout.mli: Config Format Lfs_disk

@@ -1,0 +1,799 @@
+module Cache = Lfs_cache.Block_cache
+module Dir_block = Lfs_vfs.Dir_block
+module Errors = Lfs_vfs.Errors
+module Fs_intf = Lfs_vfs.Fs_intf
+module Io = Lfs_disk.Io
+module Path = Lfs_vfs.Path
+
+let owner_raw = -3
+
+type entry = { ino : Inode.t; mutable dirty : bool }
+
+type t = {
+  io : Io.t;
+  config : Config.t;
+  layout : Layout.t;
+  cache : Cache.t;
+  alloc : Alloc.t;
+  itable : (int, entry) Hashtbl.t;
+  root : int;
+}
+
+let name = "FFS"
+let io t = t.io
+let config t = t.config
+let layout t = t.layout
+let free_blocks t = Alloc.free_block_count t.alloc
+
+let key_data ~inum ~blkno = { Cache.owner = inum; blkno }
+let key_raw addr = { Cache.owner = owner_raw; blkno = addr }
+let sector_of_block t addr = Layout.sector_of_block t.layout addr
+
+(* Raw (by-address) block read through the cache: inode-table blocks and
+   indirect blocks. *)
+let read_raw t addr =
+  if addr = Layout.null_addr then invalid_arg "Ffs.read_raw: null address";
+  match Cache.find t.cache (key_raw addr) with
+  | Some data -> data
+  | None ->
+      let data =
+        Io.sync_read t.io ~sector:(sector_of_block t addr)
+          ~count:t.layout.Layout.block_sectors
+      in
+      Cache.insert t.cache (key_raw addr) ~dirty:false data;
+      data
+
+(* Update one inode slot in its fixed table block.  [`Sync] models BSD's
+   synchronous metadata write on create/delete; [`Async] leaves the block
+   dirty for delayed write-back. *)
+let store_inode t (ino : Inode.t option) ~inum ~mode =
+  let addr, slot = Layout.inode_location t.layout inum in
+  let block = Bytes.copy (read_raw t addr) in
+  (match ino with
+  | Some ino -> Inode.encode_into ino block ~off:(slot * Layout.inode_bytes)
+  | None -> Inode.clear_slot block ~off:(slot * Layout.inode_bytes));
+  match mode with
+  | `Sync ->
+      Io.sync_write t.io ~sector:(sector_of_block t addr) block;
+      Cache.insert t.cache (key_raw addr) ~dirty:false block
+  | `Async -> Cache.insert t.cache (key_raw addr) ~dirty:true block
+
+let get_entry t inum =
+  match Hashtbl.find_opt t.itable inum with
+  | Some e -> e
+  | None ->
+      if not (Alloc.inode_allocated t.alloc inum) then
+        Errors.raise_ (Errors.Enoent (Printf.sprintf "inum %d" inum));
+      let addr, slot = Layout.inode_location t.layout inum in
+      let block = read_raw t addr in
+      (match Inode.decode_at block ~off:(slot * Layout.inode_bytes) with
+      | Some ino when ino.Inode.inum = inum ->
+          let e = { ino; dirty = false } in
+          Hashtbl.replace t.itable inum e;
+          e
+      | Some _ | None ->
+          failwith
+            (Printf.sprintf "FFS: inode bitmap says %d allocated but slot empty"
+               inum))
+
+(* Pointer access.  Indirect blocks are ordinary disk blocks updated in
+   place through the cache. *)
+
+let read_ptr t addr idx =
+  Int32.to_int (Bytes.get_int32_le (read_raw t addr) (idx * 4)) land 0xFFFFFFFF
+
+let write_ptr t addr idx v =
+  let block = Bytes.copy (read_raw t addr) in
+  Bytes.set_int32_le block (idx * 4) (Int32.of_int v);
+  Cache.insert t.cache (key_raw addr) ~dirty:true block
+
+let bmap_read t (e : entry) blkno =
+  if blkno < 0 then invalid_arg "bmap_read";
+  let p = Layout.ptrs_per_block t.layout in
+  if blkno < Inode.ndirect then e.ino.Inode.direct.(blkno)
+  else if blkno < Inode.ndirect + p then begin
+    if e.ino.Inode.indirect = Layout.null_addr then Layout.null_addr
+    else read_ptr t e.ino.Inode.indirect (blkno - Inode.ndirect)
+  end
+  else begin
+    let d = blkno - Inode.ndirect - p in
+    let child = d / p and off = d mod p in
+    if child >= p then Errors.raise_ Errors.Efbig;
+    if e.ino.Inode.dindirect = Layout.null_addr then Layout.null_addr
+    else begin
+      let child_addr = read_ptr t e.ino.Inode.dindirect child in
+      if child_addr = Layout.null_addr then Layout.null_addr
+      else read_ptr t child_addr off
+    end
+  end
+
+(* BSD's maxbpg: one file may claim only so many blocks of a cylinder
+   group before allocation moves on, so large files spread across the
+   disk rather than monopolizing a group. *)
+let maxbpg = 256
+
+let alloc_near t (e : entry) blkno =
+  let near =
+    if blkno > 0 && blkno mod maxbpg = 0 then begin
+      (* Chunk boundary: rotate to the next group. *)
+      let g =
+        (Layout.group_of_inum t.layout e.ino.Inode.inum + (blkno / maxbpg))
+        mod t.layout.Layout.ngroups
+      in
+      Layout.group_data_first t.layout g
+    end
+    else begin
+      (* Prefer right after the file's previous block; fall back to the
+         inode's group. *)
+      let rec back i =
+        if i < 0 then
+          Layout.group_data_first t.layout
+            (Layout.group_of_inum t.layout e.ino.Inode.inum)
+        else begin
+          let a = bmap_read t e i in
+          if a <> Layout.null_addr then a else back (i - 1)
+        end
+      in
+      back (min (blkno - 1) (Inode.ndirect - 1 + Layout.ptrs_per_block t.layout))
+    end
+  in
+  match Alloc.alloc_block t.alloc ~near with
+  | Some addr -> addr
+  | None -> Errors.raise_ Errors.Enospc
+
+(* Allocate a zeroed metadata (pointer) block. *)
+let alloc_meta_block t (e : entry) blkno =
+  let addr = alloc_near t e blkno in
+  Cache.insert t.cache (key_raw addr) ~dirty:true
+    (Bytes.make t.layout.Layout.block_size '\000');
+  addr
+
+let bmap_alloc t (e : entry) blkno =
+  let p = Layout.ptrs_per_block t.layout in
+  if blkno < Inode.ndirect then begin
+    if e.ino.Inode.direct.(blkno) = Layout.null_addr then begin
+      e.ino.Inode.direct.(blkno) <- alloc_near t e blkno;
+      e.dirty <- true
+    end;
+    e.ino.Inode.direct.(blkno)
+  end
+  else if blkno < Inode.ndirect + p then begin
+    if e.ino.Inode.indirect = Layout.null_addr then begin
+      e.ino.Inode.indirect <- alloc_meta_block t e blkno;
+      e.dirty <- true
+    end;
+    let idx = blkno - Inode.ndirect in
+    let addr = read_ptr t e.ino.Inode.indirect idx in
+    if addr <> Layout.null_addr then addr
+    else begin
+      let addr = alloc_near t e blkno in
+      write_ptr t e.ino.Inode.indirect idx addr;
+      addr
+    end
+  end
+  else begin
+    let d = blkno - Inode.ndirect - p in
+    let child = d / p and off = d mod p in
+    if child >= p then Errors.raise_ Errors.Efbig;
+    if e.ino.Inode.dindirect = Layout.null_addr then begin
+      e.ino.Inode.dindirect <- alloc_meta_block t e blkno;
+      e.dirty <- true
+    end;
+    let child_addr =
+      let a = read_ptr t e.ino.Inode.dindirect child in
+      if a <> Layout.null_addr then a
+      else begin
+        let a = alloc_meta_block t e blkno in
+        write_ptr t e.ino.Inode.dindirect child a;
+        a
+      end
+    in
+    let addr = read_ptr t child_addr off in
+    if addr <> Layout.null_addr then addr
+    else begin
+      let addr = alloc_near t e blkno in
+      write_ptr t child_addr off addr;
+      addr
+    end
+  end
+
+(* Delayed write-back: dirty inodes are folded into their table blocks,
+   then every dirty block goes to its fixed address, sorted so the
+   elevator gets its best shot — FFS's problem is where the blocks are,
+   not the order they are issued in. *)
+let flush t =
+  Hashtbl.iter
+    (fun inum (e : entry) ->
+      if e.dirty then begin
+        store_inode t (Some e.ino) ~inum ~mode:`Async;
+        e.dirty <- false
+      end)
+    t.itable;
+  let writes =
+    Cache.fold_dirty
+      (fun key _ acc ->
+        let addr =
+          if key.Cache.owner = owner_raw then key.Cache.blkno
+          else
+            bmap_read t (get_entry t key.Cache.owner) key.Cache.blkno
+        in
+        (addr, key) :: acc)
+      t.cache []
+    |> List.rev
+  in
+  (* The disk driver's elevator reorders a bounded queue, not the whole
+     backlog: sort within windows of the era's tagged-queue depth. *)
+  let queue_depth = 16 in
+  let rec windows = function
+    | [] -> ()
+    | l ->
+        let rec take n acc rest =
+          match (n, rest) with
+          | 0, _ | _, [] -> (List.rev acc, rest)
+          | n, x :: rest -> take (n - 1) (x :: acc) rest
+        in
+        let window, rest = take queue_depth [] l in
+        List.iter
+          (fun (addr, key) ->
+            if addr <> Layout.null_addr then begin
+              match Cache.find t.cache key with
+              | Some data ->
+                  Io.async_write t.io ~sector:(sector_of_block t addr) data;
+                  Cache.mark_clean t.cache key
+              | None -> ()
+            end)
+          (List.sort compare window);
+        windows rest
+  in
+  windows writes
+
+let persist_bitmaps t =
+  List.iter
+    (fun g ->
+      List.iter
+        (fun (addr, block) ->
+          Io.async_write t.io ~sector:(sector_of_block t addr) block)
+        (Alloc.encode_group t.alloc g))
+    (Alloc.dirty_groups t.alloc);
+  Alloc.clear_dirty t.alloc
+
+let do_sync t =
+  flush t;
+  persist_bitmaps t;
+  Io.drain t.io
+
+let housekeep t =
+  if Cache.over_capacity t.cache then flush t;
+  match Cache.oldest_dirty_age_us t.cache with
+  | Some age when age >= t.config.Config.writeback_age_us -> flush t
+  | Some _ | None -> ()
+
+(* Directories *)
+
+let dir_entry_of t inum =
+  let e = get_entry t inum in
+  if e.ino.Inode.kind <> Fs_intf.Directory then
+    Errors.raise_ (Errors.Enotdir (Printf.sprintf "inum %d" inum));
+  e
+
+let dir_nblocks t (e : entry) =
+  Inode.nblocks ~block_size:t.layout.Layout.block_size e.ino
+
+let read_dir_block t (e : entry) blk =
+  let inum = e.ino.Inode.inum in
+  match Cache.find t.cache (key_data ~inum ~blkno:blk) with
+  | Some block -> Dir_block.parse block
+  | None ->
+      let addr = bmap_read t e blk in
+      if addr = Layout.null_addr then []
+      else begin
+        let block =
+          Io.sync_read t.io ~sector:(sector_of_block t addr)
+            ~count:t.layout.Layout.block_sectors
+        in
+        Cache.insert t.cache (key_data ~inum ~blkno:blk) ~dirty:false block;
+        Dir_block.parse block
+      end
+
+(* Writing a directory block on the create/delete path is synchronous —
+   the behaviour the paper blames for coupling FFS to disk latency. *)
+let write_dir_block t (e : entry) blk entries ~sync_write =
+  let inum = e.ino.Inode.inum in
+  let block = Dir_block.encode ~block_size:t.layout.Layout.block_size entries in
+  let addr = bmap_alloc t e blk in
+  if sync_write then begin
+    Io.sync_write t.io ~sector:(sector_of_block t addr) block;
+    Cache.insert t.cache (key_data ~inum ~blkno:blk) ~dirty:false block
+  end
+  else Cache.insert t.cache (key_data ~inum ~blkno:blk) ~dirty:true block;
+  if (blk + 1) * t.layout.Layout.block_size > e.ino.Inode.size then begin
+    e.ino.Inode.size <- (blk + 1) * t.layout.Layout.block_size;
+    e.dirty <- true
+  end;
+  e.ino.Inode.mtime_us <- Io.now_us t.io;
+  e.dirty <- true
+
+let dir_lookup t ~dir fname =
+  let e = dir_entry_of t dir in
+  let n = dir_nblocks t e in
+  let rec scan blk =
+    if blk >= n then None
+    else begin
+      Io.charge_lookup t.io;
+      match List.assoc_opt fname (read_dir_block t e blk) with
+      | Some inum -> Some inum
+      | None -> scan (blk + 1)
+    end
+  in
+  scan 0
+
+let dir_add t ~dir fname inum ~sync_write =
+  if not (Path.valid_name fname) then
+    Errors.raise_ (Errors.Einval (Printf.sprintf "bad name %S" fname));
+  let e = dir_entry_of t dir in
+  let n = dir_nblocks t e in
+  let bs = t.layout.Layout.block_size in
+  let rec place blk =
+    if blk >= n then write_dir_block t e n [ (fname, inum) ] ~sync_write
+    else begin
+      Io.charge_lookup t.io;
+      let entries = read_dir_block t e blk in
+      if Dir_block.fits ~block_size:bs entries fname then
+        write_dir_block t e blk ((fname, inum) :: entries) ~sync_write
+      else place (blk + 1)
+    end
+  in
+  place 0
+
+let dir_remove t ~dir fname ~sync_write =
+  let e = dir_entry_of t dir in
+  let n = dir_nblocks t e in
+  let rec hunt blk =
+    if blk >= n then Errors.raise_ (Errors.Enoent fname)
+    else begin
+      Io.charge_lookup t.io;
+      let entries = read_dir_block t e blk in
+      if List.mem_assoc fname entries then
+        write_dir_block t e blk (List.remove_assoc fname entries) ~sync_write
+      else hunt (blk + 1)
+    end
+  in
+  hunt 0
+
+let dir_entries t ~dir =
+  let e = dir_entry_of t dir in
+  List.concat
+    (List.init (dir_nblocks t e) (fun blk ->
+         Io.charge_lookup t.io;
+         read_dir_block t e blk))
+
+let resolve t components =
+  List.fold_left
+    (fun cur fname ->
+      match dir_lookup t ~dir:cur fname with
+      | Some inum -> inum
+      | None -> Errors.raise_ (Errors.Enoent fname))
+    t.root components
+
+let resolve_path t path =
+  match Path.split path with
+  | Ok components -> resolve t components
+  | Error e -> Errors.raise_ e
+
+let split_parent path =
+  match Path.parent_and_name path with
+  | Ok v -> v
+  | Error e -> Errors.raise_ e
+
+(* Namespace operations *)
+
+let make_node t path kind =
+  Errors.wrap (fun () ->
+      Io.charge_syscall t.io;
+      let parent, fname = split_parent path in
+      let dir = resolve t parent in
+      ignore (dir_entry_of t dir);
+      (match dir_lookup t ~dir fname with
+      | Some _ -> Errors.raise_ (Errors.Eexist path)
+      | None -> ());
+      let group = Layout.group_of_inum t.layout dir in
+      let inum =
+        match
+          Alloc.alloc_inode t.alloc ~group ~spread:(kind = Fs_intf.Directory)
+        with
+        | Some i -> i
+        | None -> Errors.raise_ Errors.Enospc
+      in
+      let ino = Inode.create ~inum ~kind ~now_us:(Io.now_us t.io) in
+      Hashtbl.replace t.itable inum { ino; dirty = false };
+      (* The two synchronous writes of Figure 1: the new inode's table
+         block, then the directory data block. *)
+      store_inode t (Some ino) ~inum ~mode:`Sync;
+      dir_add t ~dir fname inum ~sync_write:true;
+      housekeep t)
+
+let create t path = make_node t path Fs_intf.Regular
+let mkdir t path = make_node t path Fs_intf.Directory
+
+let release_file_blocks t (e : entry) =
+  let bs = t.layout.Layout.block_size in
+  let inum = e.ino.Inode.inum in
+  let nblocks = Inode.nblocks ~block_size:bs e.ino in
+  for blkno = 0 to nblocks - 1 do
+    let addr = bmap_read t e blkno in
+    if addr <> Layout.null_addr then begin
+      Alloc.free_block t.alloc addr;
+      Cache.remove t.cache (key_data ~inum ~blkno)
+    end
+  done;
+  let release_raw addr =
+    if addr <> Layout.null_addr then begin
+      Alloc.free_block t.alloc addr;
+      Cache.remove t.cache (key_raw addr)
+    end
+  in
+  (match e.ino.Inode.dindirect with
+  | a when a = Layout.null_addr -> ()
+  | dind ->
+      for child = 0 to Layout.ptrs_per_block t.layout - 1 do
+        release_raw (read_ptr t dind child)
+      done);
+  release_raw e.ino.Inode.indirect;
+  release_raw e.ino.Inode.dindirect
+
+let delete t path =
+  Errors.wrap (fun () ->
+      Io.charge_syscall t.io;
+      let parent, fname = split_parent path in
+      let dir = resolve t parent in
+      let inum =
+        match dir_lookup t ~dir fname with
+        | Some i -> i
+        | None -> Errors.raise_ (Errors.Enoent path)
+      in
+      let e = get_entry t inum in
+      if e.ino.Inode.kind = Fs_intf.Directory && dir_entries t ~dir:inum <> []
+      then Errors.raise_ (Errors.Enotempty path);
+      dir_remove t ~dir fname ~sync_write:true;
+      if e.ino.Inode.nlink > 1 then begin
+        e.ino.Inode.nlink <- e.ino.Inode.nlink - 1;
+        e.ino.Inode.mtime_us <- Io.now_us t.io;
+        store_inode t (Some e.ino) ~inum ~mode:`Sync;
+        e.dirty <- false
+      end
+      else begin
+        release_file_blocks t e;
+        store_inode t None ~inum ~mode:`Sync;
+        Hashtbl.remove t.itable inum;
+        Alloc.free_inode t.alloc inum
+      end;
+      housekeep t)
+
+let rename t src dst =
+  Errors.wrap (fun () ->
+      Io.charge_syscall t.io;
+      let src_parent, src_name = split_parent src in
+      let dst_parent, dst_name = split_parent dst in
+      let rec is_prefix a b =
+        match (a, b) with
+        | [], _ -> true
+        | x :: a', y :: b' -> x = y && is_prefix a' b'
+        | _ :: _, [] -> false
+      in
+      if is_prefix (src_parent @ [ src_name ]) (dst_parent @ [ dst_name ]) then
+        Errors.raise_ (Errors.Einval "cannot move a directory beneath itself");
+      let src_dir = resolve t src_parent in
+      let inum =
+        match dir_lookup t ~dir:src_dir src_name with
+        | Some i -> i
+        | None -> Errors.raise_ (Errors.Enoent src)
+      in
+      let dst_dir = resolve t dst_parent in
+      (match dir_lookup t ~dir:dst_dir dst_name with
+      | Some _ -> Errors.raise_ (Errors.Eexist dst)
+      | None -> ());
+      dir_remove t ~dir:src_dir src_name ~sync_write:true;
+      dir_add t ~dir:dst_dir dst_name inum ~sync_write:true;
+      housekeep t)
+
+let link t src dst =
+  Errors.wrap (fun () ->
+      Io.charge_syscall t.io;
+      let src_inum = resolve_path t src in
+      let e = get_entry t src_inum in
+      if e.ino.Inode.kind = Fs_intf.Directory then
+        Errors.raise_ (Errors.Eisdir src);
+      let dst_parent, dst_name = split_parent dst in
+      let dst_dir = resolve t dst_parent in
+      ignore (dir_entry_of t dst_dir);
+      (match dir_lookup t ~dir:dst_dir dst_name with
+      | Some _ -> Errors.raise_ (Errors.Eexist dst)
+      | None -> ());
+      (* As with creat, the metadata updates are synchronous. *)
+      e.ino.Inode.nlink <- e.ino.Inode.nlink + 1;
+      e.ino.Inode.mtime_us <- Io.now_us t.io;
+      store_inode t (Some e.ino) ~inum:src_inum ~mode:`Sync;
+      e.dirty <- false;
+      dir_add t ~dir:dst_dir dst_name src_inum ~sync_write:true;
+      housekeep t)
+
+(* Data operations *)
+
+let regular_inum t path =
+  let inum = resolve_path t path in
+  let e = get_entry t inum in
+  if e.ino.Inode.kind = Fs_intf.Directory then Errors.raise_ (Errors.Eisdir path);
+  inum
+
+let read_file_block t ~inum ~blkno ~addr =
+  match Cache.find t.cache (key_data ~inum ~blkno) with
+  | Some block -> block
+  | None ->
+      let block =
+        Io.sync_read t.io ~sector:(sector_of_block t addr)
+          ~count:t.layout.Layout.block_sectors
+      in
+      Cache.insert t.cache (key_data ~inum ~blkno) ~dirty:false block;
+      block
+
+let read t path ~off ~len =
+  Errors.wrap (fun () ->
+      Io.charge_syscall t.io;
+      if off < 0 || len < 0 then Errors.raise_ (Errors.Einval "read bounds");
+      let inum = regular_inum t path in
+      let e = get_entry t inum in
+      let size = e.ino.Inode.size in
+      let len = max 0 (min len (size - off)) in
+      let bs = t.layout.Layout.block_size in
+      let result = Bytes.make len '\000' in
+      let pos = ref 0 in
+      while !pos < len do
+        let abs = off + !pos in
+        let blkno = abs / bs in
+        let in_block = abs mod bs in
+        let chunk = min (len - !pos) (bs - in_block) in
+        (match Cache.find t.cache (key_data ~inum ~blkno) with
+        | Some block -> Bytes.blit block in_block result !pos chunk
+        | None ->
+            let addr = bmap_read t e blkno in
+            if addr <> Layout.null_addr then
+              Bytes.blit (read_file_block t ~inum ~blkno ~addr) in_block result
+                !pos chunk);
+        pos := !pos + chunk
+      done;
+      Io.charge_copy t.io ~bytes:len;
+      e.ino.Inode.atime_us <- Io.now_us t.io;
+      e.dirty <- true;
+      housekeep t;
+      result)
+
+let write t path ~off data =
+  Errors.wrap (fun () ->
+      Io.charge_syscall t.io;
+      if off < 0 then Errors.raise_ (Errors.Einval "negative offset");
+      let inum = regular_inum t path in
+      let e = get_entry t inum in
+      let bs = t.layout.Layout.block_size in
+      let len = Bytes.length data in
+      if off + len > Inode.max_size t.layout then Errors.raise_ Errors.Efbig;
+      let pos = ref 0 in
+      while !pos < len do
+        let abs = off + !pos in
+        let blkno = abs / bs in
+        let in_block = abs mod bs in
+        let chunk = min (len - !pos) (bs - in_block) in
+        let key = key_data ~inum ~blkno in
+        (* A former hole gets a freshly allocated block whose on-disk
+           content belonged to someone else: treat it as zeros, never
+           read it back. *)
+        let existed = bmap_read t e blkno <> Layout.null_addr in
+        let addr = bmap_alloc t e blkno in
+        if chunk = bs then
+          Cache.insert t.cache key ~dirty:true (Bytes.sub data !pos bs)
+        else begin
+          match Cache.find t.cache key with
+          | Some block ->
+              Bytes.blit data !pos block in_block chunk;
+              Cache.mark_dirty t.cache key
+          | None ->
+              let block =
+                (* Read-modify-write whenever the pre-existing block holds
+                   bytes inside the current file size — even when this
+                   write's own offset lies past them. *)
+                if existed && blkno * bs < e.ino.Inode.size then
+                  Bytes.copy (read_file_block t ~inum ~blkno ~addr)
+                else Bytes.make bs '\000'
+              in
+              Bytes.blit data !pos block in_block chunk;
+              Cache.insert t.cache key ~dirty:true block
+        end;
+        pos := !pos + chunk
+      done;
+      if off + len > e.ino.Inode.size then e.ino.Inode.size <- off + len;
+      e.ino.Inode.mtime_us <- Io.now_us t.io;
+      e.dirty <- true;
+      Io.charge_copy t.io ~bytes:len;
+      housekeep t)
+
+let truncate t path ~size =
+  Errors.wrap (fun () ->
+      Io.charge_syscall t.io;
+      if size < 0 then Errors.raise_ (Errors.Einval "negative size");
+      if size > Inode.max_size t.layout then Errors.raise_ Errors.Efbig;
+      let inum = regular_inum t path in
+      let e = get_entry t inum in
+      let bs = t.layout.Layout.block_size in
+      let old_size = e.ino.Inode.size in
+      if size < old_size then begin
+        let keep = (size + bs - 1) / bs in
+        let old_blocks = (old_size + bs - 1) / bs in
+        for blkno = keep to old_blocks - 1 do
+          let addr = bmap_read t e blkno in
+          if addr <> Layout.null_addr then begin
+            Alloc.free_block t.alloc addr;
+            (* In-place FS: clear the pointer so the block is not seen on
+               re-extension. *)
+            let p = Layout.ptrs_per_block t.layout in
+            if blkno < Inode.ndirect then
+              e.ino.Inode.direct.(blkno) <- Layout.null_addr
+            else if blkno < Inode.ndirect + p then
+              write_ptr t e.ino.Inode.indirect (blkno - Inode.ndirect)
+                Layout.null_addr
+            else begin
+              let d = blkno - Inode.ndirect - p in
+              let child = read_ptr t e.ino.Inode.dindirect (d / p) in
+              if child <> Layout.null_addr then
+                write_ptr t child (d mod p) Layout.null_addr
+            end;
+            Cache.remove t.cache (key_data ~inum ~blkno)
+          end
+        done;
+        if size mod bs <> 0 && keep > 0 then begin
+          let blkno = keep - 1 in
+          let key = key_data ~inum ~blkno in
+          match Cache.find t.cache key with
+          | Some b ->
+              Bytes.fill b (size mod bs) (bs - (size mod bs)) '\000';
+              Cache.mark_dirty t.cache key
+          | None ->
+              let addr = bmap_read t e blkno in
+              if addr <> Layout.null_addr then begin
+                let b = Bytes.copy (read_file_block t ~inum ~blkno ~addr) in
+                Bytes.fill b (size mod bs) (bs - (size mod bs)) '\000';
+                Cache.insert t.cache key ~dirty:true b
+              end
+        end
+      end;
+      e.ino.Inode.size <- size;
+      e.ino.Inode.mtime_us <- Io.now_us t.io;
+      e.dirty <- true;
+      housekeep t)
+
+let stat t path =
+  Errors.wrap (fun () ->
+      Io.charge_syscall t.io;
+      let inum = resolve_path t path in
+      let e = get_entry t inum in
+      {
+        Fs_intf.inum;
+        kind = e.ino.Inode.kind;
+        size = e.ino.Inode.size;
+        nlink = e.ino.Inode.nlink;
+        mtime_us = e.ino.Inode.mtime_us;
+        atime_us = e.ino.Inode.atime_us;
+      })
+
+let readdir t path =
+  Errors.wrap (fun () ->
+      Io.charge_syscall t.io;
+      let inum = resolve_path t path in
+      dir_entries t ~dir:inum |> List.map fst |> List.sort String.compare)
+
+let exists t path =
+  match Errors.wrap (fun () -> resolve_path t path) with
+  | Ok _ -> true
+  | Error _ -> false
+
+let sync t =
+  Io.charge_syscall t.io;
+  do_sync t
+
+let fsync t path =
+  Errors.wrap (fun () ->
+      Io.charge_syscall t.io;
+      ignore (resolve_path t path);
+      do_sync t)
+
+let flush_caches t =
+  do_sync t;
+  Cache.drop_clean t.cache;
+  let clean =
+    Hashtbl.fold
+      (fun inum (e : entry) acc -> if e.dirty then acc else inum :: acc)
+      t.itable []
+  in
+  List.iter (Hashtbl.remove t.itable) clean
+
+let unmount t = do_sync t
+
+(* Lifecycle *)
+
+let root_inum = 1
+
+let format io config =
+  let geometry = Lfs_disk.Disk.geometry (Io.disk io) in
+  match Layout.compute config geometry with
+  | Error _ as e -> e
+  | Ok layout ->
+      Io.sync_write io ~sector:0 (Layout.encode_superblock layout);
+      let t =
+        {
+          io;
+          config;
+          layout;
+          cache =
+            Cache.create ~capacity_blocks:config.Config.cache_blocks
+              (Io.clock io);
+          alloc = Alloc.create layout;
+          itable = Hashtbl.create 256;
+          root = root_inum;
+        }
+      in
+      (* Zero the inode-table blocks so stale data never decodes as
+         inodes. *)
+      let zero = Bytes.make layout.Layout.block_size '\000' in
+      for g = 0 to layout.Layout.ngroups - 1 do
+        let first =
+          Layout.group_first_block layout g
+          + layout.Layout.bb_blocks + layout.Layout.ib_blocks
+        in
+        for i = 0 to layout.Layout.it_blocks - 1 do
+          Io.async_write io ~sector:(sector_of_block t (first + i)) zero
+        done
+      done;
+      (match Alloc.alloc_inode t.alloc ~group:0 ~spread:false with
+      | Some i when i = root_inum -> ()
+      | Some _ | None -> failwith "FFS format: could not allocate root inode");
+      let root =
+        Inode.create ~inum:root_inum ~kind:Fs_intf.Directory
+          ~now_us:(Io.now_us io)
+      in
+      store_inode t (Some root) ~inum:root_inum ~mode:`Sync;
+      persist_bitmaps t;
+      Io.drain io;
+      Ok ()
+
+let mount ?(config = Config.default) io =
+  let geometry = Lfs_disk.Disk.geometry (Io.disk io) in
+  let sector_size = geometry.Lfs_disk.Geometry.sector_size in
+  let count = min geometry.Lfs_disk.Geometry.sectors (65536 / sector_size) in
+  let sb = Io.sync_read io ~sector:0 ~count in
+  match Layout.decode_superblock sb geometry with
+  | Error _ as e -> e
+  | Ok layout ->
+      let config =
+        {
+          config with
+          Config.block_size = layout.Layout.block_size;
+          ngroups = layout.Layout.ngroups;
+        }
+      in
+      let t =
+        {
+          io;
+          config;
+          layout;
+          cache =
+            Cache.create ~capacity_blocks:config.Config.cache_blocks
+              (Io.clock io);
+          alloc = Alloc.create layout;
+          itable = Hashtbl.create 256;
+          root = root_inum;
+        }
+      in
+      for g = 0 to layout.Layout.ngroups - 1 do
+        Alloc.load_group t.alloc g ~read:(fun addr ->
+            Io.sync_read io ~sector:(sector_of_block t addr)
+              ~count:layout.Layout.block_sectors)
+      done;
+      Ok t

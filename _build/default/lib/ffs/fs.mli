@@ -1,0 +1,44 @@
+(** The FFS-style baseline file system (SunOS's BSD fast file system as
+    characterized in §3 of the paper).
+
+    Same interface as {!Lfs_core.Fs} (both satisfy
+    {!Lfs_vfs.Fs_intf.S}), but with update-in-place semantics:
+
+    - inodes live at fixed addresses; creating or deleting a file writes
+      the inode-table block and the directory block {e synchronously}
+      (Figure 1's four synchronous writes for two files);
+    - data blocks are allocated near their file at write time and written
+      back in place (delayed, asynchronous) — small files land wherever
+      their cylinder group has room, so write-back is random I/O;
+    - no log, no cleaner, no checkpoints.  Crash recovery would be fsck's
+      full-disk scan; it is not modelled. *)
+
+type t
+
+val name : string
+val io : t -> Lfs_disk.Io.t
+
+val format : Lfs_disk.Io.t -> Config.t -> (unit, string) result
+val mount : ?config:Config.t -> Lfs_disk.Io.t -> (t, string) result
+val unmount : t -> unit
+
+val create : t -> string -> (unit, Lfs_vfs.Errors.t) result
+val mkdir : t -> string -> (unit, Lfs_vfs.Errors.t) result
+val delete : t -> string -> (unit, Lfs_vfs.Errors.t) result
+val rename : t -> string -> string -> (unit, Lfs_vfs.Errors.t) result
+val link : t -> string -> string -> (unit, Lfs_vfs.Errors.t) result
+val readdir : t -> string -> (string list, Lfs_vfs.Errors.t) result
+val stat : t -> string -> (Lfs_vfs.Fs_intf.stat, Lfs_vfs.Errors.t) result
+val exists : t -> string -> bool
+val write : t -> string -> off:int -> bytes -> (unit, Lfs_vfs.Errors.t) result
+val read : t -> string -> off:int -> len:int -> (bytes, Lfs_vfs.Errors.t) result
+val truncate : t -> string -> size:int -> (unit, Lfs_vfs.Errors.t) result
+val sync : t -> unit
+val fsync : t -> string -> (unit, Lfs_vfs.Errors.t) result
+val flush_caches : t -> unit
+
+(** {1 Introspection} *)
+
+val config : t -> Config.t
+val layout : t -> Layout.t
+val free_blocks : t -> int

@@ -1,0 +1,32 @@
+(** FFS inodes.
+
+    Same structure as the LFS inode (12 direct pointers plus single and
+    double indirect), but living at a fixed disk location and carrying the
+    access time inline — which is why reading a file eventually rewrites
+    its inode block in FFS. *)
+
+type kind = Lfs_vfs.Fs_intf.file_kind
+
+type t = {
+  inum : int;
+  mutable kind : kind;
+  mutable size : int;
+  mutable nlink : int;
+  mutable mtime_us : int;
+  mutable atime_us : int;
+  direct : int array;
+  mutable indirect : int;
+  mutable dindirect : int;
+}
+
+val ndirect : int
+val create : inum:int -> kind:kind -> now_us:int -> t
+val nblocks : block_size:int -> t -> int
+val max_size : Layout.t -> int
+
+val encode_into : t -> bytes -> off:int -> unit
+val decode_at : bytes -> off:int -> t option
+(** [None] for a free slot. *)
+
+val clear_slot : bytes -> off:int -> unit
+(** Zero an inode slot (deletion). *)

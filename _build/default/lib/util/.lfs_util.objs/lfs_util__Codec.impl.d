@@ -1,0 +1,1 @@
+lib/util/codec.ml: Bytes Format Int32 Int64 String

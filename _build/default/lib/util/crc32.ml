@@ -1,0 +1,29 @@
+let table =
+  lazy
+    (let t = Array.make 256 0l in
+     for n = 0 to 255 do
+       let c = ref (Int32.of_int n) in
+       for _ = 0 to 7 do
+         if Int32.logand !c 1l <> 0l then
+           c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+         else c := Int32.shift_right_logical !c 1
+       done;
+       t.(n) <- !c
+     done;
+     t)
+
+let digest_bytes ?(off = 0) ?len b =
+  let len = match len with Some l -> l | None -> Bytes.length b - off in
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Crc32.digest_bytes";
+  let table = Lazy.force table in
+  let crc = ref 0xFFFFFFFFl in
+  for i = off to off + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand !crc 0xFFl) lxor Char.code (Bytes.get b i)
+    in
+    crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8)
+  done;
+  Int32.logxor !crc 0xFFFFFFFFl
+
+let digest_string s = digest_bytes (Bytes.unsafe_of_string s)

@@ -1,0 +1,8 @@
+(** CRC-32 (IEEE 802.3 polynomial), used to validate on-disk structures:
+    checkpoint regions, segment summary blocks, and superblocks. *)
+
+val digest_bytes : ?off:int -> ?len:int -> bytes -> int32
+(** [digest_bytes ?off ?len b] is the CRC-32 of [len] bytes of [b]
+    starting at [off] (defaults: the whole buffer). *)
+
+val digest_string : string -> int32

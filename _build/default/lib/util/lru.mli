@@ -1,0 +1,48 @@
+(** Polymorphic LRU map with O(1) lookup, insert and eviction.
+
+    The block caches of both file systems are built on this.  Capacity is a
+    count of entries; insertion beyond capacity evicts the least recently
+    used entry and reports it to the caller. *)
+
+type ('k, 'v) t
+
+val create : ?capacity:int -> unit -> ('k, 'v) t
+(** [create ~capacity ()] is an empty LRU holding at most [capacity]
+    entries (default: unbounded). *)
+
+val length : ('k, 'v) t -> int
+val capacity : ('k, 'v) t -> int option
+val set_capacity : ('k, 'v) t -> int option -> unit
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** [find t k] returns the binding and promotes it to most recently used. *)
+
+val peek : ('k, 'v) t -> 'k -> 'v option
+(** Like {!find} but without promoting. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+
+val add : ('k, 'v) t -> 'k -> 'v -> ('k * 'v) option
+(** [add t k v] binds [k] to [v] (replacing any existing binding and
+    promoting it).  Returns the evicted LRU entry if capacity was
+    exceeded. *)
+
+val remove : ('k, 'v) t -> 'k -> 'v option
+(** Removes and returns the binding for [k], if any. *)
+
+val lru : ('k, 'v) t -> ('k * 'v) option
+(** The least-recently-used binding, without removing it. *)
+
+val pop_lru : ('k, 'v) t -> ('k * 'v) option
+(** Removes and returns the least-recently-used binding. *)
+
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+(** Iterates from most recently used to least recently used.  The table
+    must not be mutated during iteration. *)
+
+val fold : ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) t -> 'acc -> 'acc
+
+val to_list : ('k, 'v) t -> ('k * 'v) list
+(** Most recently used first. *)
+
+val clear : ('k, 'v) t -> unit

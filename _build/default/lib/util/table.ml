@@ -1,0 +1,60 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render ?align ~headers rows =
+  let ncols = List.length headers in
+  List.iteri
+    (fun i row ->
+      if List.length row <> ncols then
+        invalid_arg
+          (Printf.sprintf "Table.render: row %d has %d cells, expected %d" i
+             (List.length row) ncols))
+    rows;
+  let aligns =
+    match align with
+    | Some a when List.length a = ncols -> a
+    | Some _ -> invalid_arg "Table.render: align length mismatch"
+    | None -> List.mapi (fun i _ -> if i = 0 then Left else Right) headers
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let render_row cells =
+    String.concat "  "
+      (List.map2 (fun (a, w) c -> pad a w c) (List.combine aligns widths) cells)
+  in
+  let sep = List.map (fun w -> String.make w '-') widths in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (render_row headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (render_row sep);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let fmt_float ?(decimals = 1) f = Printf.sprintf "%.*f" decimals f
+
+let fmt_bytes n =
+  let f = float_of_int n in
+  if n >= 1 lsl 30 then Printf.sprintf "%.1f GB" (f /. 1073741824.0)
+  else if n >= 1 lsl 20 then Printf.sprintf "%.1f MB" (f /. 1048576.0)
+  else if n >= 1 lsl 10 then Printf.sprintf "%.1f KB" (f /. 1024.0)
+  else Printf.sprintf "%d B" n
+
+let fmt_ratio r = Printf.sprintf "%.1fx" r

@@ -1,0 +1,30 @@
+(** Plain-text table rendering for benchmark reports.
+
+    Produces the aligned rows the bench harness prints for each paper
+    figure, e.g.:
+
+    {v
+    phase         LFS   SunFS-sim
+    ------------  ----  ---------
+    create 1k     182     18
+    v} *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  headers:string list ->
+  string list list ->
+  string
+(** [render ~headers rows] lays out [rows] under [headers] with columns
+    padded to their widest cell.  [align] gives per-column alignment
+    (default: first column [Left], the rest [Right]). *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point rendering with a sensible default of one decimal. *)
+
+val fmt_bytes : int -> string
+(** Humanized byte count, e.g. ["1.0 MB"]. *)
+
+val fmt_ratio : float -> string
+(** e.g. ["10.3x"]. *)

@@ -1,0 +1,17 @@
+(** Zipf-distributed sampling over [0 .. n-1].
+
+    Used by the hot/cold workload generators: office/engineering file
+    access is highly skewed, and cleaning policies behave very differently
+    under skewed vs uniform overwrite traffic. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** [create ~n ~theta] prepares a sampler over ranks [0..n-1] with
+    exponent [theta] ([theta = 0] is uniform; [~0.99] is classic Zipf).
+    @raise Invalid_argument if [n <= 0] or [theta < 0]. *)
+
+val n : t -> int
+
+val sample : t -> Rng.t -> int
+(** Draw a rank; rank 0 is the hottest. *)

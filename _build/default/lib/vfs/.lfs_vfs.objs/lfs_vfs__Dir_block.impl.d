@@ -1,0 +1,1 @@
+lib/vfs/dir_block.ml: Lfs_util List String

@@ -1,0 +1,1 @@
+lib/vfs/dir_block.mli:

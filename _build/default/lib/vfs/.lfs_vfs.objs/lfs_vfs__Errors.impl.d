@@ -1,0 +1,1 @@
+lib/vfs/errors.ml: Format

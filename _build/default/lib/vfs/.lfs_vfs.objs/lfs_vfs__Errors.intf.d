@@ -1,0 +1,1 @@
+lib/vfs/errors.mli: Format

@@ -1,0 +1,82 @@
+(** The file-system interface shared by LFS and the FFS baseline.
+
+    Workload generators, benchmarks and the model-based property tests are
+    all written against this signature, so every experiment runs unchanged
+    on both systems. *)
+
+type file_kind = Regular | Directory
+
+type stat = {
+  inum : int;
+  kind : file_kind;
+  size : int;  (** bytes *)
+  nlink : int;
+  mtime_us : int;  (** last data/metadata modification, simulated time *)
+  atime_us : int;  (** last read access, simulated time *)
+}
+
+module type S = sig
+  type t
+
+  val name : string
+  (** Short identifier used in benchmark tables, e.g. ["LFS"]. *)
+
+  val io : t -> Lfs_disk.Io.t
+  (** The I/O scheduler, for clocks and statistics. *)
+
+  (** {1 Namespace} *)
+
+  val create : t -> string -> (unit, Errors.t) result
+  (** Create an empty regular file; fails with [Eexist] if present. *)
+
+  val mkdir : t -> string -> (unit, Errors.t) result
+  val delete : t -> string -> (unit, Errors.t) result
+  (** Remove a file, or an empty directory. *)
+
+  val rename : t -> string -> string -> (unit, Errors.t) result
+  (** [rename t src dst]: [dst] must not exist. *)
+
+  val link : t -> string -> string -> (unit, Errors.t) result
+  (** [link t src dst] makes [dst] a second name (hard link) for the
+      regular file [src]; directories cannot be linked.  The file's data
+      is freed only when its last name is deleted. *)
+
+  val readdir : t -> string -> (string list, Errors.t) result
+  (** Entry names, sorted. *)
+
+  val stat : t -> string -> (stat, Errors.t) result
+  val exists : t -> string -> bool
+
+  (** {1 Data} *)
+
+  val write : t -> string -> off:int -> bytes -> (unit, Errors.t) result
+  (** Write (extending the file as needed).  Writes go to the cache; they
+      reach the disk per each system's write-back policy. *)
+
+  val read : t -> string -> off:int -> len:int -> (bytes, Errors.t) result
+  (** Reads at most [len] bytes (short at end of file). *)
+
+  val truncate : t -> string -> size:int -> (unit, Errors.t) result
+
+  (** {1 Durability} *)
+
+  val sync : t -> unit
+  (** Push all dirty data and metadata to disk and wait for the device. *)
+
+  val fsync : t -> string -> (unit, Errors.t) result
+  (** Push one file's dirty blocks (LFS: a partial segment; FFS: the
+      file's blocks in place) and wait. *)
+
+  (** {1 Cache control (benchmark support)} *)
+
+  val flush_caches : t -> unit
+  (** Write back everything, then drop clean cached blocks — the paper's
+      "the file cache was flushed" between benchmark phases. *)
+end
+
+(** A file system packaged with its instance, so heterogeneous lists of
+    systems can be benchmarked side by side. *)
+type instance = Instance : (module S with type t = 'a) * 'a -> instance
+
+let instance_name (Instance ((module F), _)) = F.name
+let instance_io (Instance ((module F), fs)) = F.io fs

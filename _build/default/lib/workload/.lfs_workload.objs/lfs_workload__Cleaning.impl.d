@@ -1,0 +1,1 @@
+lib/workload/cleaning.ml: Driver Lfs_core Lfs_util Lfs_vfs List Printf

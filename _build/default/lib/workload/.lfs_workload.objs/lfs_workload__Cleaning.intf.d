@@ -1,0 +1,1 @@
+lib/workload/cleaning.mli: Lfs_core

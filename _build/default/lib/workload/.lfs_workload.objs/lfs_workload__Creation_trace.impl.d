@@ -1,0 +1,1 @@
+lib/workload/creation_trace.ml: Driver Lfs_disk List

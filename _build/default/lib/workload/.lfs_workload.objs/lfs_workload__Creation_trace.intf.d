@@ -1,0 +1,1 @@
+lib/workload/creation_trace.mli: Lfs_disk Lfs_vfs

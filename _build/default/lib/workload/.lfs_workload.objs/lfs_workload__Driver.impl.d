@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Bytes Char Lfs_disk Lfs_util Lfs_vfs Printf

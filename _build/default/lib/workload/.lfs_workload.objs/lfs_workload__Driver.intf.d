@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Lfs_disk Lfs_vfs

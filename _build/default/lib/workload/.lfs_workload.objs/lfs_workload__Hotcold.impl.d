@@ -1,0 +1,1 @@
+lib/workload/hotcold.ml: Driver Lfs_core Lfs_util Lfs_vfs Printf

@@ -1,0 +1,1 @@
+lib/workload/hotcold.mli: Lfs_core

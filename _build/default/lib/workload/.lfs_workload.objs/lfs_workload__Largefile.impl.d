@@ -1,0 +1,1 @@
+lib/workload/largefile.ml: Driver Lfs_util

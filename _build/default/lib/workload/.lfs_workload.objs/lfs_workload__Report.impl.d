@@ -1,0 +1,1 @@
+lib/workload/report.ml: Buffer Cleaning Creation_trace Hotcold Largefile Lfs_core Lfs_disk Lfs_util List Printf Smallfile Stdlib String

@@ -1,0 +1,1 @@
+lib/workload/report.mli: Cleaning Creation_trace Hotcold Largefile Smallfile

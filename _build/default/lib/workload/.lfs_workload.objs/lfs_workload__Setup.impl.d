@@ -1,0 +1,1 @@
+lib/workload/setup.ml: Driver Lfs_core Lfs_disk Lfs_ffs Lfs_vfs

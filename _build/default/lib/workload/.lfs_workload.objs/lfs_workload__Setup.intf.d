@@ -1,0 +1,1 @@
+lib/workload/setup.mli: Lfs_core Lfs_disk Lfs_ffs Lfs_vfs

@@ -1,0 +1,1 @@
+lib/workload/smallfile.ml: Driver Printf

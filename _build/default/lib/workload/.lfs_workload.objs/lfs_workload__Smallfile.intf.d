@@ -1,0 +1,1 @@
+lib/workload/smallfile.mli: Lfs_vfs

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Array Bytes Driver Format Lfs_disk Lfs_util Lfs_vfs List Printf String

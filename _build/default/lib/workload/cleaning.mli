@@ -1,0 +1,38 @@
+(** The segment-cleaning benchmark of §5.3 (Figure 5).
+
+    Fill an LFS disk with small files, delete a fraction so every segment
+    is left at a target utilization, then clean that whole dirty
+    population once and measure the rate at which clean segments are
+    generated.  This is the paper's deliberate worst case: all segments
+    equally fragmented. *)
+
+type point = {
+  utilization : float;  (** mean utilization of the cleaned segments *)
+  clean_kb_per_sec : float;
+      (** gross rate at which segments become clean (the figure's axis) *)
+  net_kb_per_sec : float;
+      (** new writable space per second: gross minus the live bytes the
+          cleaner had to rewrite — "full segments yield almost no free
+          space" *)
+  segments_cleaned : int;
+}
+
+val run :
+  ?file_size:int ->
+  ?fill_fraction:float ->
+  ?seed:int ->
+  target_utilization:float ->
+  Lfs_core.Fs.t ->
+  point
+(** One measurement on a fresh file system.
+    @raise Invalid_argument if [target_utilization] is outside [0, 1]. *)
+
+val sweep :
+  ?file_size:int ->
+  ?fill_fraction:float ->
+  ?seed:int ->
+  utilizations:float list ->
+  (unit -> Lfs_core.Fs.t) ->
+  point list
+(** Figure 5's x-axis sweep; each point gets a fresh file system from the
+    factory. *)

@@ -1,0 +1,53 @@
+(** Driving any file system through {!Lfs_vfs.Fs_intf.instance}.
+
+    The benchmark workloads are written once against these helpers and
+    run unchanged on LFS and FFS.  All helpers fail loudly — a benchmark
+    that cannot perform its operations is a bug, not a result. *)
+
+module Fs_intf = Lfs_vfs.Fs_intf
+module Errors = Lfs_vfs.Errors
+
+exception Benchmark_failure of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Benchmark_failure s)) fmt
+
+let ok what = function
+  | Ok v -> v
+  | Error e -> fail "%s: %s" what (Errors.to_string e)
+
+let io (Fs_intf.Instance ((module F), fs)) = F.io fs
+let label (Fs_intf.Instance ((module F), _)) = F.name
+
+let create (Fs_intf.Instance ((module F), fs)) path =
+  ok ("create " ^ path) (F.create fs path)
+
+let mkdir (Fs_intf.Instance ((module F), fs)) path =
+  ok ("mkdir " ^ path) (F.mkdir fs path)
+
+let delete (Fs_intf.Instance ((module F), fs)) path =
+  ok ("delete " ^ path) (F.delete fs path)
+
+let write (Fs_intf.Instance ((module F), fs)) path ~off data =
+  ok ("write " ^ path) (F.write fs path ~off data)
+
+let read (Fs_intf.Instance ((module F), fs)) path ~off ~len =
+  ok ("read " ^ path) (F.read fs path ~off ~len)
+
+let stat (Fs_intf.Instance ((module F), fs)) path =
+  ok ("stat " ^ path) (F.stat fs path)
+
+let sync (Fs_intf.Instance ((module F), fs)) = F.sync fs
+let flush_caches (Fs_intf.Instance ((module F), fs)) = F.flush_caches fs
+
+let now_us inst = Lfs_disk.Io.now_us (io inst)
+
+(** Simulated time consumed by [f], in microseconds. *)
+let timed inst f =
+  let t0 = now_us inst in
+  f ();
+  now_us inst - t0
+
+(** Deterministic file contents. *)
+let content ~seed len =
+  let rng = Lfs_util.Rng.create seed in
+  Bytes.init len (fun _ -> Char.chr (Lfs_util.Rng.int rng 256))

@@ -1,0 +1,30 @@
+(** Driving any file system through {!Lfs_vfs.Fs_intf.instance}.
+
+    The benchmark workloads are written once against these helpers and
+    run unchanged on LFS and FFS.  All helpers fail loudly — a benchmark
+    that cannot perform its operations is a bug, not a result. *)
+
+exception Benchmark_failure of string
+
+val fail : ('a, unit, string, 'b) format4 -> 'a
+val ok : string -> ('a, Lfs_vfs.Errors.t) result -> 'a
+
+val io : Lfs_vfs.Fs_intf.instance -> Lfs_disk.Io.t
+val label : Lfs_vfs.Fs_intf.instance -> string
+
+val create : Lfs_vfs.Fs_intf.instance -> string -> unit
+val mkdir : Lfs_vfs.Fs_intf.instance -> string -> unit
+val delete : Lfs_vfs.Fs_intf.instance -> string -> unit
+val write : Lfs_vfs.Fs_intf.instance -> string -> off:int -> bytes -> unit
+val read : Lfs_vfs.Fs_intf.instance -> string -> off:int -> len:int -> bytes
+val stat : Lfs_vfs.Fs_intf.instance -> string -> Lfs_vfs.Fs_intf.stat
+val sync : Lfs_vfs.Fs_intf.instance -> unit
+val flush_caches : Lfs_vfs.Fs_intf.instance -> unit
+
+val now_us : Lfs_vfs.Fs_intf.instance -> int
+
+val timed : Lfs_vfs.Fs_intf.instance -> (unit -> unit) -> int
+(** Simulated microseconds consumed by the thunk. *)
+
+val content : seed:int -> int -> bytes
+(** Deterministic pseudo-random file contents. *)

@@ -1,0 +1,29 @@
+(** Hot/cold overwrite traffic for the cleaning-policy ablations.
+
+    Fills the disk to a target utilization with fixed-size files, then
+    overwrites files drawn from a Zipf distribution ([theta = 0] is the
+    uniform traffic of Figure 5's worst case; [theta ~ 1] is
+    office/engineering locality).  Reports the cleaner's write-cost
+    multiplier and sustained write bandwidth. *)
+
+type result = {
+  policy : Lfs_core.Config.policy;
+  theta : float;
+  disk_utilization : float;
+  write_cost : float;
+  write_kbs : float;
+  segments_cleaned : int;
+}
+
+val run :
+  ?file_size:int ->
+  ?theta:float ->
+  ?ops:int ->
+  ?seed:int ->
+  disk_utilization:float ->
+  policy:Lfs_core.Config.policy ->
+  Lfs_core.Fs.t ->
+  result
+(** @raise Driver.Benchmark_failure if the system collapses (the cleaner
+    cannot keep up at this utilization) — itself a result worth
+    reporting. *)

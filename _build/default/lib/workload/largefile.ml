@@ -1,0 +1,80 @@
+(** The large-file benchmark of §5.2 (Figure 4).
+
+    Five phases over one large file with 8 KB requests: sequential write,
+    sequential read, random write, random read, and a final sequential
+    re-read (which is where update-in-place beats a log after random
+    updates).  Random offsets sample with replacement, as in the paper
+    (its random-write rate beat sequential because of cache overwrites).
+    Rates are KB per second of simulated time; write phases include the
+    trailing sync. *)
+
+type result = {
+  label : string;
+  file_mb : int;
+  seq_write_kbs : float;
+  seq_read_kbs : float;
+  rand_write_kbs : float;
+  rand_read_kbs : float;
+  seq_reread_kbs : float;
+}
+
+let request = 8192
+
+let kbs bytes us =
+  if us <= 0 then infinity
+  else float_of_int bytes /. 1024.0 /. (float_of_int us /. 1e6)
+
+let run ?(file_mb = 100) ?(seed = 17) inst =
+  let path = "/bigfile" in
+  let size = file_mb * 1024 * 1024 in
+  let nreq = size / request in
+  Driver.create inst path;
+  let seq_write_us =
+    Driver.timed inst (fun () ->
+        for i = 0 to nreq - 1 do
+          Driver.write inst path ~off:(i * request)
+            (Driver.content ~seed:i request)
+        done;
+        Driver.sync inst)
+  in
+  Driver.flush_caches inst;
+  let seq_read_us =
+    Driver.timed inst (fun () ->
+        for i = 0 to nreq - 1 do
+          ignore (Driver.read inst path ~off:(i * request) ~len:request)
+        done)
+  in
+  Driver.flush_caches inst;
+  let rng = Lfs_util.Rng.create seed in
+  let rand_write_us =
+    Driver.timed inst (fun () ->
+        for i = 0 to nreq - 1 do
+          let off = Lfs_util.Rng.int rng nreq * request in
+          Driver.write inst path ~off (Driver.content ~seed:(1000 + i) request)
+        done;
+        Driver.sync inst)
+  in
+  Driver.flush_caches inst;
+  let rand_read_us =
+    Driver.timed inst (fun () ->
+        for _ = 0 to nreq - 1 do
+          let off = Lfs_util.Rng.int rng nreq * request in
+          ignore (Driver.read inst path ~off ~len:request)
+        done)
+  in
+  Driver.flush_caches inst;
+  let seq_reread_us =
+    Driver.timed inst (fun () ->
+        for i = 0 to nreq - 1 do
+          ignore (Driver.read inst path ~off:(i * request) ~len:request)
+        done)
+  in
+  {
+    label = Driver.label inst;
+    file_mb;
+    seq_write_kbs = kbs size seq_write_us;
+    seq_read_kbs = kbs size seq_read_us;
+    rand_write_kbs = kbs size rand_write_us;
+    rand_read_kbs = kbs size rand_read_us;
+    seq_reread_kbs = kbs size seq_reread_us;
+  }

@@ -1,0 +1,24 @@
+(** The large-file benchmark of §5.2 (Figure 4).
+
+    Five phases over one large file with 8 KB requests: sequential write,
+    sequential read, random write, random read, and a final sequential
+    re-read (where update-in-place beats a log after random updates).
+    Random offsets sample with replacement, as in the paper.  Rates are
+    KB per second of simulated time; write phases include the trailing
+    sync. *)
+
+type result = {
+  label : string;
+  file_mb : int;
+  seq_write_kbs : float;
+  seq_read_kbs : float;
+  rand_write_kbs : float;
+  rand_read_kbs : float;
+  seq_reread_kbs : float;
+}
+
+val request : int
+(** Request size (8 KB). *)
+
+val run : ?file_mb:int -> ?seed:int -> Lfs_vfs.Fs_intf.instance -> result
+(** Default: the paper's 100 MB file. *)

@@ -1,0 +1,39 @@
+(** Benchmark environments: a simulated WREN IV disk, a Sun-4/260 CPU
+    model, and a freshly formatted file system — the §5 test setup. *)
+
+module Clock = Lfs_disk.Clock
+module Cpu_model = Lfs_disk.Cpu_model
+module Disk = Lfs_disk.Disk
+module Fs_intf = Lfs_vfs.Fs_intf
+module Geometry = Lfs_disk.Geometry
+module Io = Lfs_disk.Io
+
+let default_disk_mb = 300
+
+let make_io ?(disk_mb = default_disk_mb) ?(cpu = Cpu_model.sun4_260) () =
+  let geometry = Geometry.wren_iv ~size_bytes:(disk_mb * 1024 * 1024) in
+  let disk = Disk.create geometry in
+  let clock = Clock.create () in
+  Io.create disk clock cpu
+
+let lfs ?disk_mb ?cpu ?(config = Lfs_core.Config.default) () =
+  let io = make_io ?disk_mb ?cpu () in
+  (match Lfs_core.Fs.format io config with
+  | Ok () -> ()
+  | Error e -> Driver.fail "LFS format: %s" e);
+  match Lfs_core.Fs.mount ~config io with
+  | Ok fs -> Fs_intf.Instance ((module Lfs_core.Fs), fs)
+  | Error e -> Driver.fail "LFS mount: %s" e
+
+let ffs ?disk_mb ?cpu ?(config = Lfs_ffs.Config.default) () =
+  let io = make_io ?disk_mb ?cpu () in
+  (match Lfs_ffs.Fs.format io config with
+  | Ok () -> ()
+  | Error e -> Driver.fail "FFS format: %s" e);
+  match Lfs_ffs.Fs.mount ~config io with
+  | Ok fs -> Fs_intf.Instance ((module Lfs_ffs.Fs), fs)
+  | Error e -> Driver.fail "FFS mount: %s" e
+
+(** Both systems on identical hardware, LFS first — the comparison pair
+    of every figure in §5. *)
+let both ?disk_mb ?cpu () = [ lfs ?disk_mb ?cpu (); ffs ?disk_mb ?cpu () ]

@@ -1,0 +1,30 @@
+(** Benchmark environments: a simulated WREN IV disk, a Sun-4/260 CPU
+    model, and a freshly formatted file system — the §5 test setup. *)
+
+val default_disk_mb : int
+
+val make_io :
+  ?disk_mb:int -> ?cpu:Lfs_disk.Cpu_model.t -> unit -> Lfs_disk.Io.t
+
+val lfs :
+  ?disk_mb:int ->
+  ?cpu:Lfs_disk.Cpu_model.t ->
+  ?config:Lfs_core.Config.t ->
+  unit ->
+  Lfs_vfs.Fs_intf.instance
+(** A formatted, mounted LFS on fresh simulated hardware. *)
+
+val ffs :
+  ?disk_mb:int ->
+  ?cpu:Lfs_disk.Cpu_model.t ->
+  ?config:Lfs_ffs.Config.t ->
+  unit ->
+  Lfs_vfs.Fs_intf.instance
+
+val both :
+  ?disk_mb:int ->
+  ?cpu:Lfs_disk.Cpu_model.t ->
+  unit ->
+  Lfs_vfs.Fs_intf.instance list
+(** Both systems on identical hardware, LFS first — the comparison pair
+    of every figure in §5. *)

@@ -1,0 +1,59 @@
+(** The small-file benchmark of §5.1 (Figure 3).
+
+    Create [nfiles] files of [file_size] bytes (spread over directories of
+    100 files, as an office/engineering tree would be), flush the file
+    cache, read them all back in creation order, then delete them all.
+    Results are files per second of simulated time per phase. *)
+
+type result = {
+  label : string;
+  nfiles : int;
+  file_size : int;
+  create_per_sec : float;
+  read_per_sec : float;
+  delete_per_sec : float;
+}
+
+let files_per_dir = 100
+
+let path_of i = Printf.sprintf "/dir%03d/f%05d" (i / files_per_dir) i
+
+let per_sec nfiles us =
+  if us <= 0 then infinity else float_of_int nfiles /. (float_of_int us /. 1e6)
+
+let run ?(nfiles = 10_000) ?(file_size = 1024) inst =
+  let ndirs = (nfiles + files_per_dir - 1) / files_per_dir in
+  for d = 0 to ndirs - 1 do
+    Driver.mkdir inst (Printf.sprintf "/dir%03d" d)
+  done;
+  (* Directory creation is setup, not part of the measured phases. *)
+  Driver.sync inst;
+  let create_us =
+    Driver.timed inst (fun () ->
+        for i = 0 to nfiles - 1 do
+          let path = path_of i in
+          Driver.create inst path;
+          Driver.write inst path ~off:0 (Driver.content ~seed:i file_size)
+        done)
+  in
+  Driver.flush_caches inst;
+  let read_us =
+    Driver.timed inst (fun () ->
+        for i = 0 to nfiles - 1 do
+          ignore (Driver.read inst (path_of i) ~off:0 ~len:file_size)
+        done)
+  in
+  let delete_us =
+    Driver.timed inst (fun () ->
+        for i = 0 to nfiles - 1 do
+          Driver.delete inst (path_of i)
+        done)
+  in
+  {
+    label = Driver.label inst;
+    nfiles;
+    file_size;
+    create_per_sec = per_sec nfiles create_us;
+    read_per_sec = per_sec nfiles read_us;
+    delete_per_sec = per_sec nfiles delete_us;
+  }

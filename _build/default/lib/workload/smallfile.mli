@@ -1,0 +1,21 @@
+(** The small-file benchmark of §5.1 (Figure 3).
+
+    Create [nfiles] files of [file_size] bytes (spread over directories
+    of 100 files), flush the file cache, read them all back in creation
+    order, then delete them all.  Results are files per second of
+    simulated time per phase. *)
+
+type result = {
+  label : string;
+  nfiles : int;
+  file_size : int;
+  create_per_sec : float;
+  read_per_sec : float;
+  delete_per_sec : float;
+}
+
+val files_per_dir : int
+
+val run :
+  ?nfiles:int -> ?file_size:int -> Lfs_vfs.Fs_intf.instance -> result
+(** Defaults: the paper's 10000 files of 1 KB. *)

@@ -1,0 +1,191 @@
+(** Synthetic office/engineering traces.
+
+    The paper characterizes its target workload via the Berkeley
+    trace-driven analysis (reference [5]): many small files (mostly under
+    8 KB), read sequentially and in their entirety, with lifetimes often
+    under a day and highly skewed access.  [generate] produces an event
+    stream with those properties; [replay] runs it against any file
+    system, so a single "realistic mix" number can be compared across
+    systems (the figures isolate one behaviour each; a trace mixes them).
+
+    Traces serialize to plain text, one event per line, so they can be
+    stored, inspected and replayed later. *)
+
+type event =
+  | Create of { path : string; size : int }  (** create + whole-file write *)
+  | Read of { path : string }  (** whole-file sequential read *)
+  | Overwrite of { path : string; size : int }  (** rewrite in full *)
+  | Delete of { path : string }
+  | Mkdir of { path : string }
+
+let pp_event ppf = function
+  | Create { path; size } -> Format.fprintf ppf "create %s %d" path size
+  | Read { path } -> Format.fprintf ppf "read %s" path
+  | Overwrite { path; size } -> Format.fprintf ppf "overwrite %s %d" path size
+  | Delete { path } -> Format.fprintf ppf "delete %s" path
+  | Mkdir { path } -> Format.fprintf ppf "mkdir %s" path
+
+(* Serialization *)
+
+let to_line = function
+  | Create { path; size } -> Printf.sprintf "C %s %d" path size
+  | Read { path } -> Printf.sprintf "R %s" path
+  | Overwrite { path; size } -> Printf.sprintf "W %s %d" path size
+  | Delete { path } -> Printf.sprintf "D %s" path
+  | Mkdir { path } -> Printf.sprintf "M %s" path
+
+let of_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "C"; path; size ] -> Some (Create { path; size = int_of_string size })
+  | [ "R"; path ] -> Some (Read { path })
+  | [ "W"; path; size ] -> Some (Overwrite { path; size = int_of_string size })
+  | [ "D"; path ] -> Some (Delete { path })
+  | [ "M"; path ] -> Some (Mkdir { path })
+  | [ "" ] -> None
+  | _ -> invalid_arg (Printf.sprintf "Trace.of_line: %S" line)
+
+let to_lines events = String.concat "\n" (List.map to_line events) ^ "\n"
+
+let of_lines text =
+  List.filter_map of_line (String.split_on_char '\n' text)
+
+(* Generation *)
+
+(* File sizes: the office/engineering distribution — most files small,
+   a long tail.  Buckets approximate the trace study: 80% <= 8 KB. *)
+let sample_size rng =
+  let r = Lfs_util.Rng.float rng 1.0 in
+  if r < 0.35 then 512 + Lfs_util.Rng.int rng 1024
+  else if r < 0.65 then 1024 + Lfs_util.Rng.int rng 4096
+  else if r < 0.85 then 4096 + Lfs_util.Rng.int rng 8192
+  else if r < 0.97 then 8192 + Lfs_util.Rng.int rng 65536
+  else 65536 + Lfs_util.Rng.int rng 262144
+
+type gen_config = {
+  events : int;
+  dirs : int;  (** directory fan-out *)
+  target_live : int;  (** steady-state live-file population *)
+  read_fraction : float;
+  overwrite_fraction : float;
+  zipf_theta : float;  (** skew of read/overwrite targets *)
+}
+
+let default_gen =
+  {
+    events = 20_000;
+    dirs = 20;
+    target_live = 2_000;
+    read_fraction = 0.45;
+    overwrite_fraction = 0.15;
+    zipf_theta = 0.9;
+  }
+
+let generate ?(seed = 42) ?(config = default_gen) () =
+  let rng = Lfs_util.Rng.create seed in
+  let zipf = Lfs_util.Zipf.create ~n:(max 1 config.target_live) ~theta:config.zipf_theta in
+  (* Live population as a growable array of paths; Zipf rank 0 = most
+     recently created (young files are the hot ones, as in the study). *)
+  let live = ref [||] in
+  let next_id = ref 0 in
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  for d = 0 to config.dirs - 1 do
+    emit (Mkdir { path = Printf.sprintf "/dir%03d" d })
+  done;
+  let fresh_path () =
+    let id = !next_id in
+    incr next_id;
+    Printf.sprintf "/dir%03d/f%06d" (id mod config.dirs) id
+  in
+  let pick_live () =
+    let n = Array.length !live in
+    if n = 0 then None
+    else begin
+      let rank = Lfs_util.Zipf.sample zipf rng in
+      (* Rank 0 = youngest. *)
+      Some (min (n - 1) rank)
+    end
+  in
+  let create () =
+    let path = fresh_path () in
+    emit (Create { path; size = sample_size rng });
+    live := Array.append [| path |] !live
+  in
+  let delete_oldest_biased () =
+    let n = Array.length !live in
+    if n > 0 then begin
+      (* Deletions hit old files: sample from the cold end. *)
+      let idx = n - 1 - min (n - 1) (Lfs_util.Rng.int rng (max 1 (n / 2))) in
+      emit (Delete { path = !live.(idx) });
+      live := Array.append (Array.sub !live 0 idx)
+                (Array.sub !live (idx + 1) (n - idx - 1))
+    end
+  in
+  for _ = 1 to config.events do
+    let r = Lfs_util.Rng.float rng 1.0 in
+    if r < config.read_fraction then begin
+      match pick_live () with
+      | Some i -> emit (Read { path = !live.(i) })
+      | None -> create ()
+    end
+    else if r < config.read_fraction +. config.overwrite_fraction then begin
+      match pick_live () with
+      | Some i -> emit (Overwrite { path = !live.(i); size = sample_size rng })
+      | None -> create ()
+    end
+    else if Array.length !live >= config.target_live then begin
+      (* At steady state, births and deaths alternate. *)
+      if Lfs_util.Rng.bool rng then delete_oldest_biased () else create ()
+    end
+    else create ()
+  done;
+  List.rev !events
+
+(* Replay *)
+
+type result = {
+  label : string;
+  events : int;
+  elapsed_us : int;
+  ops_per_sec : float;
+  bytes_written : int;
+  bytes_read : int;
+}
+
+let replay inst events =
+  let io = Driver.io inst in
+  let bytes_written = ref 0 in
+  let bytes_read = ref 0 in
+  let t0 = Lfs_disk.Io.now_us io in
+  List.iteri
+    (fun i event ->
+      match event with
+      | Mkdir { path } -> Driver.mkdir inst path
+      | Create { path; size } ->
+          Driver.create inst path;
+          Driver.write inst path ~off:0 (Driver.content ~seed:i size);
+          bytes_written := !bytes_written + size
+      | Overwrite { path; size } ->
+          Driver.write inst path ~off:0 (Driver.content ~seed:i size);
+          bytes_written := !bytes_written + size
+      | Read { path } ->
+          let stat = Driver.stat inst path in
+          let data =
+            Driver.read inst path ~off:0 ~len:stat.Lfs_vfs.Fs_intf.size
+          in
+          bytes_read := !bytes_read + Bytes.length data
+      | Delete { path } -> Driver.delete inst path)
+    events;
+  Driver.sync inst;
+  let elapsed_us = Lfs_disk.Io.now_us io - t0 in
+  let n = List.length events in
+  {
+    label = Driver.label inst;
+    events = n;
+    elapsed_us;
+    ops_per_sec =
+      (if elapsed_us <= 0 then infinity
+       else float_of_int n /. (float_of_int elapsed_us /. 1e6));
+    bytes_written = !bytes_written;
+    bytes_read = !bytes_read;
+  }

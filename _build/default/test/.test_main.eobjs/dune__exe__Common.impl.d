@@ -1,0 +1,1 @@
+test/common.ml: Alcotest Bytes Char Lfs_core Lfs_disk Lfs_util Lfs_vfs

@@ -1,0 +1,1 @@
+test/generic_suite.ml: Alcotest Bytes Common Lfs_core Lfs_ffs Lfs_vfs List Printf

@@ -1,0 +1,1 @@
+test/model_fs.ml: Bytes Hashtbl List Map String

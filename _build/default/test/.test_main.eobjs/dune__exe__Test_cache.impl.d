@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Bytes Lfs_cache Lfs_disk List

@@ -1,0 +1,1 @@
+test/test_codecs.ml: Alcotest Array Bytes Lfs_core Lfs_disk Lfs_vfs List Printf QCheck QCheck_alcotest

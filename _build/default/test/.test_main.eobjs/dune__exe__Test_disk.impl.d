@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Bytes Char Lfs_disk List

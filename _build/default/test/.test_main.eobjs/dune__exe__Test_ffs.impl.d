@@ -1,0 +1,1 @@
+test/test_ffs.ml: Alcotest Array Bytes Char Common Lfs_core Lfs_disk Lfs_ffs Lfs_vfs List Printf

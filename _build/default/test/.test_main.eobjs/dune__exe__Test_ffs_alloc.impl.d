@@ -1,0 +1,1 @@
+test/test_ffs_alloc.ml: Alcotest Hashtbl Lfs_disk Lfs_ffs List Option QCheck QCheck_alcotest

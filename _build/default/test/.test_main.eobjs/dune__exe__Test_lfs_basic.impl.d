@@ -1,0 +1,1 @@
+test/test_lfs_basic.ml: Alcotest Bytes Common Lfs_core Lfs_disk Lfs_util Lfs_vfs List Printf

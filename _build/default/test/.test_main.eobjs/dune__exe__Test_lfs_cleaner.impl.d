@@ -1,0 +1,1 @@
+test/test_lfs_cleaner.ml: Alcotest Common Format Lfs_core Lfs_vfs List Printf String

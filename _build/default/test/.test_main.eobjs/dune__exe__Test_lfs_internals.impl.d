@@ -1,0 +1,1 @@
+test/test_lfs_internals.ml: Alcotest Common Lfs_core Lfs_disk Lfs_vfs List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_lfs_recovery.ml: Alcotest Common Format Lfs_core Lfs_disk Lfs_vfs List Printf String

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Common Lfs_core Lfs_ffs Lfs_vfs List Result String

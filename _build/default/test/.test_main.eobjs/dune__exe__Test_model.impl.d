@@ -1,0 +1,1 @@
+test/test_model.ml: Bytes Char Common Format Generic_suite Hashtbl Lfs_core Lfs_disk Lfs_ffs Lfs_util Lfs_vfs List Model_fs Option Printf QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Bytes Format Lfs_workload List Model_fs QCheck QCheck_alcotest String

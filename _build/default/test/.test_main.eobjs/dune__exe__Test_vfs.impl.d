@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest Bytes Gen Lfs_vfs List QCheck QCheck_alcotest String

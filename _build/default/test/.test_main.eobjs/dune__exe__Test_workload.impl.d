@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Lfs_core Lfs_workload List

@@ -1,0 +1,191 @@
+(* A conformance suite over the shared Fs_intf.S signature, instantiated
+   for both LFS and the FFS baseline so the two systems are held to the
+   same semantics. *)
+
+module Fs_intf = Lfs_vfs.Fs_intf
+module E = Lfs_vfs.Errors
+
+module Make
+    (F : Fs_intf.S) (Env : sig
+      val label : string
+      val make : unit -> F.t
+    end) =
+struct
+  let check_ok what = function
+    | Ok v -> v
+    | Error e -> Alcotest.failf "%s: %s" what (E.to_string e)
+
+  let pattern = Common.pattern
+
+  let read_all fs path =
+    let st = check_ok "stat" (F.stat fs path) in
+    check_ok "read" (F.read fs path ~off:0 ~len:st.Fs_intf.size)
+
+  let write_file fs path data =
+    check_ok "create" (F.create fs path);
+    check_ok "write" (F.write fs path ~off:0 data)
+
+  let check_bytes what expected actual =
+    if not (Bytes.equal expected actual) then
+      Alcotest.failf "%s: content mismatch (%d vs %d bytes)" what
+        (Bytes.length expected) (Bytes.length actual)
+
+  let test_crud () =
+    let fs = Env.make () in
+    write_file fs "/a" (pattern ~seed:1 3000);
+    check_bytes "read back" (pattern ~seed:1 3000) (read_all fs "/a");
+    F.sync fs;
+    F.flush_caches fs;
+    check_bytes "after flush" (pattern ~seed:1 3000) (read_all fs "/a");
+    check_ok "delete" (F.delete fs "/a");
+    Alcotest.(check bool) "gone" false (F.exists fs "/a")
+
+  let test_tree () =
+    let fs = Env.make () in
+    check_ok "mkdir" (F.mkdir fs "/d1");
+    check_ok "mkdir" (F.mkdir fs "/d1/d2");
+    write_file fs "/d1/d2/f" (pattern ~seed:2 500);
+    Alcotest.(check (list string)) "ls" [ "d2" ] (check_ok "readdir" (F.readdir fs "/d1"));
+    check_bytes "deep read" (pattern ~seed:2 500) (read_all fs "/d1/d2/f");
+    (match F.delete fs "/d1" with
+    | Error (E.Enotempty _) -> ()
+    | _ -> Alcotest.fail "nonempty delete accepted")
+
+  let test_many_files () =
+    let fs = Env.make () in
+    for i = 0 to 99 do
+      write_file fs (Printf.sprintf "/f%02d" i) (pattern ~seed:i 700)
+    done;
+    F.flush_caches fs;
+    for i = 0 to 99 do
+      check_bytes
+        (Printf.sprintf "f%02d" i)
+        (pattern ~seed:i 700)
+        (read_all fs (Printf.sprintf "/f%02d" i))
+    done;
+    for i = 0 to 99 do
+      if i mod 2 = 0 then
+        check_ok "delete" (F.delete fs (Printf.sprintf "/f%02d" i))
+    done;
+    Alcotest.(check int) "count" 50
+      (List.length (check_ok "readdir" (F.readdir fs "/")))
+
+  let test_overwrite_and_extend () =
+    let fs = Env.make () in
+    write_file fs "/f" (pattern ~seed:3 2000);
+    check_ok "patch" (F.write fs "/f" ~off:500 (Bytes.of_string "XYZ"));
+    check_ok "extend" (F.write fs "/f" ~off:3000 (Bytes.of_string "tail"));
+    let data = read_all fs "/f" in
+    Alcotest.(check int) "size" 3004 (Bytes.length data);
+    Alcotest.(check string) "patch" "XYZ" (Bytes.to_string (Bytes.sub data 500 3));
+    Alcotest.(check string) "tail" "tail" (Bytes.to_string (Bytes.sub data 3000 4));
+    for i = 2000 to 2999 do
+      if Bytes.get data i <> '\000' then Alcotest.failf "hole not zero at %d" i
+    done
+
+  let test_truncate () =
+    let fs = Env.make () in
+    write_file fs "/t" (pattern ~seed:4 5000);
+    check_ok "shrink" (F.truncate fs "/t" ~size:1234);
+    check_bytes "prefix" (Bytes.sub (pattern ~seed:4 5000) 0 1234) (read_all fs "/t");
+    F.flush_caches fs;
+    check_bytes "prefix after flush"
+      (Bytes.sub (pattern ~seed:4 5000) 0 1234)
+      (read_all fs "/t")
+
+  let test_rename () =
+    let fs = Env.make () in
+    write_file fs "/old" (pattern ~seed:5 800);
+    check_ok "mkdir" (F.mkdir fs "/d");
+    check_ok "rename" (F.rename fs "/old" "/d/new");
+    Alcotest.(check bool) "old gone" false (F.exists fs "/old");
+    check_bytes "content moved" (pattern ~seed:5 800) (read_all fs "/d/new")
+
+  let test_hard_links () =
+    let fs = Env.make () in
+    write_file fs "/orig" (pattern ~seed:8 2048);
+    check_ok "mkdir" (F.mkdir fs "/d");
+    check_ok "link" (F.link fs "/orig" "/d/alias");
+    check_bytes "alias reads same" (pattern ~seed:8 2048) (read_all fs "/d/alias");
+    let st = check_ok "stat" (F.stat fs "/orig") in
+    Alcotest.(check int) "nlink 2" 2 st.Fs_intf.nlink;
+    (* Writes through one name are visible through the other. *)
+    check_ok "write via alias" (F.write fs "/d/alias" ~off:0 (Bytes.of_string "XY"));
+    let via_orig = check_ok "read" (F.read fs "/orig" ~off:0 ~len:2) in
+    Alcotest.(check string) "shared data" "XY" (Bytes.to_string via_orig);
+    (* Deleting one name keeps the data. *)
+    check_ok "delete orig" (F.delete fs "/orig");
+    Alcotest.(check bool) "orig gone" false (F.exists fs "/orig");
+    let st = check_ok "stat alias" (F.stat fs "/d/alias") in
+    Alcotest.(check int) "nlink back to 1" 1 st.Fs_intf.nlink;
+    F.flush_caches fs;
+    Alcotest.(check int) "content survives" 2048
+      (Bytes.length (read_all fs "/d/alias"));
+    (* Deleting the last name frees it. *)
+    check_ok "delete alias" (F.delete fs "/d/alias");
+    Alcotest.(check bool) "alias gone" false (F.exists fs "/d/alias");
+    (* Errors: linking directories or onto existing names. *)
+    (match F.link fs "/d" "/d2" with
+    | Error (E.Eisdir _) -> ()
+    | _ -> Alcotest.fail "linked a directory");
+    write_file fs "/a" (pattern ~seed:9 10);
+    write_file fs "/b" (pattern ~seed:10 10);
+    match F.link fs "/a" "/b" with
+    | Error (E.Eexist _) -> ()
+    | _ -> Alcotest.fail "link onto existing name"
+
+  let test_fsync () =
+    let fs = Env.make () in
+    write_file fs "/f" (pattern ~seed:6 1500);
+    check_ok "fsync" (F.fsync fs "/f");
+    check_bytes "after fsync" (pattern ~seed:6 1500) (read_all fs "/f")
+
+  let test_stat_fields () =
+    let fs = Env.make () in
+    check_ok "mkdir" (F.mkdir fs "/d");
+    write_file fs "/d/f" (pattern ~seed:7 1000);
+    let st = check_ok "stat file" (F.stat fs "/d/f") in
+    Alcotest.(check int) "size" 1000 st.Fs_intf.size;
+    Alcotest.(check bool) "file kind" true (st.Fs_intf.kind = Fs_intf.Regular);
+    let st = check_ok "stat dir" (F.stat fs "/d") in
+    Alcotest.(check bool) "dir kind" true (st.Fs_intf.kind = Fs_intf.Directory)
+
+  let suite =
+    List.map
+      (fun (name, f) ->
+        Alcotest.test_case (Printf.sprintf "%s: %s" Env.label name) `Quick f)
+      [
+        ("crud", test_crud);
+        ("tree", test_tree);
+        ("many files", test_many_files);
+        ("overwrite+extend", test_overwrite_and_extend);
+        ("truncate", test_truncate);
+        ("rename", test_rename);
+        ("hard links", test_hard_links);
+        ("fsync", test_fsync);
+        ("stat", test_stat_fields);
+      ]
+end
+
+module Lfs_env = struct
+  let label = "lfs"
+  let make () = Common.make_lfs ()
+end
+
+module Ffs_env = struct
+  let label = "ffs"
+
+  let make () =
+    let io = Common.make_io () in
+    (match Lfs_ffs.Fs.format io Lfs_ffs.Config.small with
+    | Ok () -> ()
+    | Error e -> failwith ("ffs format: " ^ e));
+    match Lfs_ffs.Fs.mount ~config:Lfs_ffs.Config.small io with
+    | Ok fs -> fs
+    | Error e -> failwith ("ffs mount: " ^ e)
+end
+
+module Lfs_suite = Make (Lfs_core.Fs) (Lfs_env)
+module Ffs_suite = Make (Lfs_ffs.Fs) (Ffs_env)
+
+let suite = Lfs_suite.suite @ Ffs_suite.suite

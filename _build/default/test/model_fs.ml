@@ -1,0 +1,168 @@
+(* A pure reference file system: the specification both LFS and FFS are
+   tested against.  Paths are component lists.  Regular files are ids into
+   a content table so hard links alias naturally. *)
+
+module M = Map.Make (struct
+  type t = string list
+
+  let compare = compare
+end)
+
+type node = File of int | Dir
+
+type t = {
+  mutable nodes : node M.t;
+  contents : (int, bytes) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let create () =
+  { nodes = M.add [] Dir M.empty; contents = Hashtbl.create 64; next_id = 0 }
+
+type outcome = Done | Data of bytes | Names of string list | Failed
+
+let parent path = List.filteri (fun i _ -> i < List.length path - 1) path
+
+let parent_is_dir t path =
+  match M.find_opt (parent path) t.nodes with Some Dir -> true | _ -> false
+
+let exists t path = M.mem path t.nodes
+
+let children t path =
+  M.fold
+    (fun p _ acc ->
+      if List.length p = List.length path + 1 && parent p = path then
+        List.nth p (List.length p - 1) :: acc
+      else acc)
+    t.nodes []
+
+let nlink t id =
+  M.fold
+    (fun _ node acc -> match node with File i when i = id -> acc + 1 | _ -> acc)
+    t.nodes 0
+
+let mk_node t path node =
+  if path = [] || exists t path || not (parent_is_dir t path) then Failed
+  else begin
+    t.nodes <- M.add path node t.nodes;
+    Done
+  end
+
+let create_file t path =
+  let id = t.next_id in
+  match mk_node t path (File id) with
+  | Done ->
+      t.next_id <- id + 1;
+      Hashtbl.replace t.contents id Bytes.empty;
+      Done
+  | other -> other
+
+let mkdir t path = mk_node t path Dir
+
+let delete t path =
+  match M.find_opt path t.nodes with
+  | None -> Failed
+  | Some Dir when path = [] || children t path <> [] -> Failed
+  | Some Dir ->
+      t.nodes <- M.remove path t.nodes;
+      Done
+  | Some (File id) ->
+      t.nodes <- M.remove path t.nodes;
+      if nlink t id = 0 then Hashtbl.remove t.contents id;
+      Done
+
+let file_id t path =
+  match M.find_opt path t.nodes with Some (File id) -> Some id | _ -> None
+
+let write t path ~off data =
+  match file_id t path with
+  | None -> Failed
+  | Some id ->
+      let old = Hashtbl.find t.contents id in
+      let len = max (Bytes.length old) (off + Bytes.length data) in
+      let b = Bytes.make len '\000' in
+      Bytes.blit old 0 b 0 (Bytes.length old);
+      Bytes.blit data 0 b off (Bytes.length data);
+      Hashtbl.replace t.contents id b;
+      Done
+
+let read t path ~off ~len =
+  match file_id t path with
+  | None -> Failed
+  | Some id ->
+      let b = Hashtbl.find t.contents id in
+      if off >= Bytes.length b then Data Bytes.empty
+      else Data (Bytes.sub b off (min len (Bytes.length b - off)))
+
+let truncate t path ~size =
+  match file_id t path with
+  | None -> Failed
+  | Some id ->
+      let b = Hashtbl.find t.contents id in
+      let b' = Bytes.make size '\000' in
+      Bytes.blit b 0 b' 0 (min size (Bytes.length b));
+      Hashtbl.replace t.contents id b';
+      Done
+
+let is_prefix a b =
+  let rec go a b =
+    match (a, b) with
+    | [], _ -> true
+    | x :: a', y :: b' -> x = y && go a' b'
+    | _ :: _, [] -> false
+  in
+  go a b
+
+let rename t src dst =
+  if
+    src = [] || dst = []
+    || (not (exists t src))
+    || exists t dst
+    || (not (parent_is_dir t dst))
+    || is_prefix src dst
+  then Failed
+  else begin
+    (* Move the node and, for directories, the whole subtree. *)
+    let moved =
+      M.fold
+        (fun p node acc ->
+          if is_prefix src p then
+            (dst @ List.filteri (fun i _ -> i >= List.length src) p, node) :: acc
+          else acc)
+        t.nodes []
+    in
+    t.nodes <- M.filter (fun p _ -> not (is_prefix src p)) t.nodes;
+    List.iter (fun (p, node) -> t.nodes <- M.add p node t.nodes) moved;
+    Done
+  end
+
+let link t src dst =
+  match file_id t src with
+  | None -> Failed (* absent, or a directory *)
+  | Some id ->
+      if dst = [] || exists t dst || not (parent_is_dir t dst) then Failed
+      else begin
+        t.nodes <- M.add dst (File id) t.nodes;
+        Done
+      end
+
+let readdir t path =
+  match M.find_opt path t.nodes with
+  | Some Dir -> Names (List.sort String.compare (children t path))
+  | Some (File _) | None -> Failed
+
+let all_files t =
+  M.fold
+    (fun p node acc ->
+      match node with
+      | File id -> (p, Hashtbl.find t.contents id) :: acc
+      | Dir -> acc)
+    t.nodes []
+
+let all_dirs t =
+  M.fold
+    (fun p node acc -> match node with Dir -> p :: acc | File _ -> acc)
+    t.nodes []
+
+let nlink_of_path t path =
+  match file_id t path with Some id -> nlink t id | None -> 0

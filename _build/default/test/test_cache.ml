@@ -1,0 +1,114 @@
+(* The file cache: dirty tracking, eviction discipline, write-back
+   triggers. *)
+
+module Cache = Lfs_cache.Block_cache
+module Clock = Lfs_disk.Clock
+
+let key owner blkno = { Cache.owner; blkno }
+
+let make ?(capacity_blocks = 4) () =
+  let clock = Clock.create () in
+  (Cache.create ~capacity_blocks clock, clock)
+
+let block c = Bytes.make 16 c
+
+let test_insert_find () =
+  let t, _ = make () in
+  Cache.insert t (key 1 0) ~dirty:false (block 'a');
+  Alcotest.(check bool) "mem" true (Cache.mem t (key 1 0));
+  (match Cache.find t (key 1 0) with
+  | Some b -> Alcotest.(check char) "content" 'a' (Bytes.get b 0)
+  | None -> Alcotest.fail "lost");
+  Alcotest.(check int) "hits" 1 (Cache.stats_hits t);
+  ignore (Cache.find t (key 9 9));
+  Alcotest.(check int) "misses" 1 (Cache.stats_misses t)
+
+let test_dirty_lifecycle () =
+  let t, _ = make () in
+  Cache.insert t (key 1 0) ~dirty:false (block 'a');
+  Alcotest.(check int) "clean" 0 (Cache.dirty_count t);
+  Cache.mark_dirty t (key 1 0);
+  Cache.mark_dirty t (key 1 0);
+  Alcotest.(check int) "one dirty" 1 (Cache.dirty_count t);
+  Cache.mark_clean t (key 1 0);
+  Alcotest.(check int) "cleaned" 0 (Cache.dirty_count t);
+  Alcotest.(check bool) "mark_dirty missing raises" true
+    (try
+       Cache.mark_dirty t (key 5 5);
+       false
+     with Not_found -> true)
+
+let test_clean_eviction_only () =
+  let t, _ = make ~capacity_blocks:2 () in
+  Cache.insert t (key 1 0) ~dirty:true (block 'a');
+  Cache.insert t (key 1 1) ~dirty:true (block 'b');
+  Cache.insert t (key 1 2) ~dirty:true (block 'c');
+  (* Nothing evictable: the cache must hold all three and admit it is
+     over capacity. *)
+  Alcotest.(check int) "holds dirty" 3 (Cache.length t);
+  Alcotest.(check bool) "over capacity" true (Cache.over_capacity t);
+  Cache.mark_clean t (key 1 0);
+  Cache.mark_clean t (key 1 1);
+  (* Next insert reclaims clean LRU entries down to capacity. *)
+  Cache.insert t (key 1 3) ~dirty:false (block 'd');
+  Alcotest.(check bool) "within capacity" true (Cache.length t <= 2 + 1);
+  Alcotest.(check bool) "dirty survived" true (Cache.mem t (key 1 2))
+
+let test_fold_dirty_order () =
+  let t, _ = make ~capacity_blocks:10 () in
+  Cache.insert t (key 1 0) ~dirty:true (block 'a');
+  Cache.insert t (key 2 0) ~dirty:true (block 'b');
+  Cache.insert t (key 1 1) ~dirty:false (block 'c');
+  Cache.insert t (key 3 0) ~dirty:true (block 'd');
+  let keys = Cache.dirty_keys t in
+  Alcotest.(check int) "three dirty" 3 (List.length keys);
+  (* Oldest first. *)
+  Alcotest.(check int) "oldest owner" 1 (List.hd keys).Cache.owner
+
+let test_age_tracking () =
+  let t, clock = make () in
+  Alcotest.(check (option int)) "no dirty" None (Cache.oldest_dirty_age_us t);
+  Cache.insert t (key 1 0) ~dirty:true (block 'a');
+  Clock.advance_us clock 1_000;
+  Cache.insert t (key 1 1) ~dirty:true (block 'b');
+  Clock.advance_us clock 500;
+  (match Cache.oldest_dirty_age_us t with
+  | Some age -> Alcotest.(check int) "oldest age" 1_500 age
+  | None -> Alcotest.fail "no age");
+  Cache.mark_clean t (key 1 0);
+  match Cache.oldest_dirty_age_us t with
+  | Some age -> Alcotest.(check int) "second age" 500 age
+  | None -> Alcotest.fail "no age after clean"
+
+let test_remove_and_drop_clean () =
+  let t, _ = make ~capacity_blocks:10 () in
+  Cache.insert t (key 1 0) ~dirty:true (block 'a');
+  Cache.insert t (key 1 1) ~dirty:false (block 'b');
+  Cache.remove t (key 1 0);
+  Alcotest.(check int) "dirty count updated" 0 (Cache.dirty_count t);
+  Cache.insert t (key 2 0) ~dirty:true (block 'c');
+  Cache.drop_clean t;
+  Alcotest.(check bool) "clean dropped" false (Cache.mem t (key 1 1));
+  Alcotest.(check bool) "dirty kept" true (Cache.mem t (key 2 0))
+
+let test_insert_replaces_dirty () =
+  let t, _ = make () in
+  Cache.insert t (key 1 0) ~dirty:true (block 'a');
+  Cache.insert t (key 1 0) ~dirty:false (block 'b');
+  Alcotest.(check int) "dirty count drops on replace" 0 (Cache.dirty_count t);
+  Cache.insert t (key 1 0) ~dirty:true (block 'c');
+  Alcotest.(check int) "dirty again" 1 (Cache.dirty_count t);
+  Alcotest.(check int) "no duplicates" 1 (Cache.length t)
+
+let suite =
+  [
+    Alcotest.test_case "insert/find" `Quick test_insert_find;
+    Alcotest.test_case "dirty lifecycle" `Quick test_dirty_lifecycle;
+    Alcotest.test_case "only clean entries evicted" `Quick
+      test_clean_eviction_only;
+    Alcotest.test_case "fold_dirty order" `Quick test_fold_dirty_order;
+    Alcotest.test_case "age tracking" `Quick test_age_tracking;
+    Alcotest.test_case "remove and drop_clean" `Quick test_remove_and_drop_clean;
+    Alcotest.test_case "insert replaces dirty state" `Quick
+      test_insert_replaces_dirty;
+  ]

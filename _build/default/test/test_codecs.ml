@@ -1,0 +1,249 @@
+(* Round-trip properties for every LFS on-disk structure: inodes, summary
+   regions, checkpoint regions, superblocks, imap and usage blocks. *)
+
+module Checkpoint = Lfs_core.Checkpoint
+module Config = Lfs_core.Config
+module Geometry = Lfs_disk.Geometry
+module Imap = Lfs_core.Imap
+module Inode = Lfs_core.Inode
+module Layout = Lfs_core.Layout
+module Seg_usage = Lfs_core.Seg_usage
+module Summary = Lfs_core.Summary
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let layout () =
+  let geometry = Geometry.wren_iv ~size_bytes:(8 * 1024 * 1024) in
+  match Layout.compute Config.small geometry with
+  | Ok l -> l
+  | Error e -> failwith e
+
+(* Inode *)
+
+let inode_gen =
+  QCheck.Gen.(
+    let addr = int_bound 100_000 in
+    map
+      (fun ((inum, kind, size), (nlink, mtime, direct, ind, dind)) ->
+        let ino =
+          Inode.create
+            ~inum:(1 + inum)
+            ~kind:(if kind then Lfs_vfs.Fs_intf.Regular else Lfs_vfs.Fs_intf.Directory)
+            ~now_us:mtime
+        in
+        ino.Inode.size <- size;
+        ino.Inode.nlink <- nlink;
+        List.iteri (fun i a -> if i < Inode.ndirect then ino.Inode.direct.(i) <- a) direct;
+        ino.Inode.indirect <- ind;
+        ino.Inode.dindirect <- dind;
+        ino)
+      (pair
+         (triple (int_bound 60000) bool (int_bound 10_000_000))
+         (tup5 (int_range 1 100) (int_bound 1_000_000) (list_size (pure 12) addr)
+            addr addr)))
+
+let prop_inode_roundtrip =
+  QCheck.Test.make ~name:"inode codec roundtrip" ~count:300
+    (QCheck.make inode_gen)
+    (fun ino ->
+      let buf = Bytes.make Layout.inode_bytes '\000' in
+      Inode.encode_into ino buf ~off:0;
+      match Inode.decode_at buf ~off:0 with
+      | None -> false
+      | Some ino' ->
+          ino'.Inode.inum = ino.Inode.inum
+          && ino'.Inode.kind = ino.Inode.kind
+          && ino'.Inode.size = ino.Inode.size
+          && ino'.Inode.nlink = ino.Inode.nlink
+          && ino'.Inode.mtime_us = ino.Inode.mtime_us
+          && ino'.Inode.direct = ino.Inode.direct
+          && ino'.Inode.indirect = ino.Inode.indirect
+          && ino'.Inode.dindirect = ino.Inode.dindirect)
+
+let test_inode_empty_slot () =
+  let buf = Bytes.make Layout.inode_bytes '\000' in
+  Alcotest.(check bool) "zeroed slot is free" true (Inode.decode_at buf ~off:0 = None)
+
+(* Summary *)
+
+let entry_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map3
+          (fun inum blkno version -> Summary.Data { inum = 1 + inum; blkno; version })
+          (int_bound 60000) (int_bound 100000) (int_bound 1000);
+        map2 (fun inum idx -> Summary.Indirect { inum = 1 + inum; idx }) (int_bound 60000) (int_bound 300);
+        map (fun inum -> Summary.Dindirect { inum = 1 + inum }) (int_bound 60000);
+        pure Summary.Inode_block;
+        map (fun idx -> Summary.Imap_block { idx }) (int_bound 300);
+        map (fun idx -> Summary.Usage_block { idx }) (int_bound 300);
+      ])
+
+let prop_summary_roundtrip =
+  QCheck.Test.make ~name:"summary codec roundtrip" ~count:200
+    (QCheck.make QCheck.Gen.(pair (list_size (int_bound 14) entry_gen) (pair small_nat small_nat)))
+    (fun (entries, (seq, ts)) ->
+      let size_bytes = 1024 in
+      QCheck.assume (List.length entries <= Summary.max_entries ~size_bytes);
+      let header =
+        {
+          Summary.seq;
+          timestamp_us = ts;
+          nblocks = List.length entries;
+          payload_crc = 0xDEADBEEFl;
+        }
+      in
+      let region = Summary.encode ~size_bytes header entries in
+      match Summary.decode region with
+      | None -> false
+      | Some (h, es) ->
+          h = header && List.for_all2 Summary.equal_entry es entries)
+
+let test_summary_rejects_corruption () =
+  let header =
+    { Summary.seq = 3; timestamp_us = 99; nblocks = 1; payload_crc = 0l }
+  in
+  let region =
+    Summary.encode ~size_bytes:1024 header [ Summary.Inode_block ]
+  in
+  Alcotest.(check bool) "valid decodes" true (Summary.decode region <> None);
+  Bytes.set region 40 'X';
+  Alcotest.(check bool) "bit flip rejected" true (Summary.decode region = None);
+  Alcotest.(check bool) "zeros rejected" true
+    (Summary.decode (Bytes.make 1024 '\000') = None)
+
+let test_summary_blocks_needed () =
+  (* 1 KB blocks: one block describes (1024-30)/13 = 76 payload blocks. *)
+  Alcotest.(check int) "small segment" 1
+    (Summary.blocks_needed ~block_size:1024 ~seg_blocks:16);
+  (* 4 MB segments of 4 KB blocks need a multi-block summary. *)
+  let s = Summary.blocks_needed ~block_size:4096 ~seg_blocks:1024 in
+  Alcotest.(check bool) "multi-block" true (s > 1);
+  Alcotest.(check bool) "fits" true
+    (1024 - s <= Summary.max_entries ~size_bytes:(s * 4096))
+
+(* Checkpoint *)
+
+let test_checkpoint_roundtrip () =
+  let l = layout () in
+  let cp =
+    {
+      Checkpoint.timestamp_us = 123456;
+      seq = 42;
+      tail_segment = 7;
+      next_inum_hint = 19;
+      imap_addrs = Array.init l.Layout.n_imap_blocks (fun i -> i * 3);
+      usage_addrs = Array.init l.Layout.n_usage_blocks (fun i -> 1000 + i);
+    }
+  in
+  let region = Checkpoint.encode l cp in
+  Alcotest.(check int) "region size" (l.Layout.cp_blocks * l.Layout.block_size)
+    (Bytes.length region);
+  (match Checkpoint.decode l region with
+  | Some cp' -> Alcotest.(check bool) "roundtrip" true (cp = cp')
+  | None -> Alcotest.fail "decode failed");
+  Bytes.set region 100 '\255';
+  Alcotest.(check bool) "corruption rejected" true (Checkpoint.decode l region = None)
+
+let test_checkpoint_choose () =
+  let l = layout () in
+  let mk ts seq =
+    {
+      Checkpoint.timestamp_us = ts;
+      seq;
+      tail_segment = 0;
+      next_inum_hint = 1;
+      imap_addrs = Array.make l.Layout.n_imap_blocks 0;
+      usage_addrs = Array.make l.Layout.n_usage_blocks 0;
+    }
+  in
+  let a = mk 100 1 and b = mk 200 2 in
+  Alcotest.(check bool) "newer wins" true (Checkpoint.choose (Some a) (Some b) = Some b);
+  Alcotest.(check bool) "either order" true (Checkpoint.choose (Some b) (Some a) = Some b);
+  Alcotest.(check bool) "single" true (Checkpoint.choose None (Some a) = Some a);
+  Alcotest.(check bool) "none" true (Checkpoint.choose None None = None);
+  let tie1 = mk 100 5 and tie2 = mk 100 6 in
+  Alcotest.(check bool) "tie on seq" true
+    (Checkpoint.choose (Some tie1) (Some tie2) = Some tie2)
+
+(* Superblock *)
+
+let test_superblock_roundtrip () =
+  let geometry = Geometry.wren_iv ~size_bytes:(8 * 1024 * 1024) in
+  let l = layout () in
+  let sb = Layout.encode_superblock l in
+  (match Layout.decode_superblock sb geometry with
+  | Ok l' -> Alcotest.(check bool) "roundtrip" true (l = l')
+  | Error e -> Alcotest.failf "decode: %s" e);
+  (* Reading more than one block (as mount does) still decodes. *)
+  let padded = Bytes.make (Bytes.length sb * 2) '\000' in
+  Bytes.blit sb 0 padded 0 (Bytes.length sb);
+  (match Layout.decode_superblock padded geometry with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "padded decode: %s" e);
+  (* Wrong geometry rejected. *)
+  let other = Geometry.wren_iv ~size_bytes:(16 * 1024 * 1024) in
+  match Layout.decode_superblock sb other with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted mismatched geometry"
+
+(* Imap / usage block codecs *)
+
+let test_imap_block_roundtrip () =
+  let l = layout () in
+  let m = Imap.create l in
+  let now = 777 in
+  for i = 1 to 30 do
+    Imap.alloc_specific m i ~now_us:now;
+    Imap.set_location m i ~addr:(100 + i) ~slot:(i mod 8);
+    if i mod 3 = 0 then Imap.bump_version m i
+  done;
+  Imap.free m 5;
+  let block0 = Imap.encode_block m ~idx:0 in
+  let m' = Imap.create l in
+  Imap.load_block m' ~idx:0 block0;
+  for i = 1 to min 30 (Layout.imap_entries_per_block l - 1) do
+    Alcotest.(check bool)
+      (Printf.sprintf "alloc %d" i)
+      (Imap.is_allocated m i) (Imap.is_allocated m' i);
+    Alcotest.(check int) (Printf.sprintf "version %d" i) (Imap.version m i)
+      (Imap.version m' i);
+    if Imap.is_allocated m i then
+      Alcotest.(check (option (pair int int)))
+        (Printf.sprintf "loc %d" i)
+        (Imap.location m i) (Imap.location m' i)
+  done
+
+let test_usage_block_roundtrip () =
+  let l = layout () in
+  let u = Seg_usage.create l in
+  Seg_usage.set_state u 0 Seg_usage.Dirty;
+  Seg_usage.add_live u 0 ~bytes:5000 ~now_us:100;
+  Seg_usage.set_state u 1 Seg_usage.Active;
+  Seg_usage.add_live u 1 ~bytes:123 ~now_us:200;
+  let block0 = Seg_usage.encode_block u ~idx:0 in
+  let u' = Seg_usage.create l in
+  Seg_usage.load_block u' ~idx:0 block0;
+  Alcotest.(check int) "live" 5000 (Seg_usage.live_bytes u' 0);
+  Alcotest.(check int) "mtime" 100 (Seg_usage.mtime_us u' 0);
+  Alcotest.(check bool) "dirty state" true (Seg_usage.state u' 0 = Seg_usage.Dirty);
+  (* Active persists as Dirty: after a crash the half-filled segment is
+     just fragmented. *)
+  Alcotest.(check bool) "active persisted as dirty" true
+    (Seg_usage.state u' 1 = Seg_usage.Dirty)
+
+let suite =
+  [
+    qcheck prop_inode_roundtrip;
+    Alcotest.test_case "inode empty slot" `Quick test_inode_empty_slot;
+    qcheck prop_summary_roundtrip;
+    Alcotest.test_case "summary rejects corruption" `Quick
+      test_summary_rejects_corruption;
+    Alcotest.test_case "summary region sizing" `Quick test_summary_blocks_needed;
+    Alcotest.test_case "checkpoint roundtrip" `Quick test_checkpoint_roundtrip;
+    Alcotest.test_case "checkpoint choose" `Quick test_checkpoint_choose;
+    Alcotest.test_case "superblock roundtrip" `Quick test_superblock_roundtrip;
+    Alcotest.test_case "imap block roundtrip" `Quick test_imap_block_roundtrip;
+    Alcotest.test_case "usage block roundtrip" `Quick test_usage_block_roundtrip;
+  ]

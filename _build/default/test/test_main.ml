@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "lfs-repro"
+    [
+      ("util", Test_util.suite);
+      ("cache", Test_cache.suite);
+      ("vfs", Test_vfs.suite);
+      ("codecs", Test_codecs.suite);
+      ("disk", Test_disk.suite);
+      ("lfs-basic", Test_lfs_basic.suite);
+      ("lfs-internals", Test_lfs_internals.suite);
+      ("lfs-recovery", Test_lfs_recovery.suite);
+      ("lfs-cleaner", Test_lfs_cleaner.suite);
+      ("fs-conformance", Generic_suite.suite);
+      ("model", Test_model.suite);
+      ("ffs", Test_ffs.suite);
+      ("ffs-alloc", Test_ffs_alloc.suite);
+      ("workload", Test_workload.suite);
+      ("trace", Test_trace.suite);
+      ("misc", Test_misc.suite);
+    ]

@@ -1,0 +1,293 @@
+(* Unit and property tests for lfs_util: bitset, LRU, CRC, RNG, Zipf,
+   codec, tables. *)
+
+module Bitset = Lfs_util.Bitset
+module Codec = Lfs_util.Codec
+module Crc32 = Lfs_util.Crc32
+module Lru = Lfs_util.Lru
+module Rng = Lfs_util.Rng
+module Table = Lfs_util.Table
+module Zipf = Lfs_util.Zipf
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* Bitset *)
+
+let test_bitset_basic () =
+  let b = Bitset.create 100 in
+  Alcotest.(check int) "empty" 0 (Bitset.cardinal b);
+  Bitset.set b 0;
+  Bitset.set b 99;
+  Bitset.set b 42;
+  Alcotest.(check int) "three" 3 (Bitset.cardinal b);
+  Alcotest.(check bool) "mem" true (Bitset.mem b 42);
+  Bitset.set b 42;
+  Alcotest.(check int) "idempotent" 3 (Bitset.cardinal b);
+  Bitset.clear b 42;
+  Alcotest.(check bool) "cleared" false (Bitset.mem b 42);
+  Alcotest.(check int) "two" 2 (Bitset.cardinal b);
+  (match Bitset.find_first_clear b with
+  | Some 1 -> ()
+  | other ->
+      Alcotest.failf "find_first_clear: %s"
+        (match other with Some n -> string_of_int n | None -> "none"));
+  Alcotest.(check bool) "oob" true
+    (try
+       Bitset.set b 100;
+       false
+     with Invalid_argument _ -> true)
+
+let test_bitset_wrap_search () =
+  let b = Bitset.create 10 in
+  for i = 0 to 9 do
+    Bitset.set b i
+  done;
+  Bitset.clear b 2;
+  Alcotest.(check (option int)) "wraps" (Some 2) (Bitset.find_first_clear ~start:5 b);
+  Bitset.set b 2;
+  Alcotest.(check (option int)) "full" None (Bitset.find_first_clear b)
+
+let test_bitset_fill_all () =
+  let b = Bitset.create 13 in
+  Bitset.fill_all b;
+  Alcotest.(check int) "all set" 13 (Bitset.cardinal b);
+  Bitset.clear_all b;
+  Alcotest.(check int) "all clear" 0 (Bitset.cardinal b)
+
+let prop_bitset_roundtrip =
+  QCheck.Test.make ~name:"bitset serialize roundtrip" ~count:100
+    QCheck.(pair (int_bound 200) (list (int_bound 199)))
+    (fun (len, sets) ->
+      let len = len + 1 in
+      let b = Bitset.create len in
+      List.iter (fun i -> if i < len then Bitset.set b i) sets;
+      let b' = Bitset.of_bytes ~length:len (Bitset.to_bytes b) in
+      Bitset.cardinal b = Bitset.cardinal b'
+      && List.for_all (fun i -> i >= len || Bitset.mem b' i) sets)
+
+(* LRU *)
+
+let test_lru_eviction () =
+  let l = Lru.create ~capacity:3 () in
+  Alcotest.(check (option (pair int string))) "evict none" None (Lru.add l 1 "a");
+  ignore (Lru.add l 2 "b");
+  ignore (Lru.add l 3 "c");
+  (* Touch 1 so that 2 is LRU. *)
+  Alcotest.(check (option string)) "find" (Some "a") (Lru.find l 1);
+  Alcotest.(check (option (pair int string))) "evicts 2" (Some (2, "b"))
+    (Lru.add l 4 "d");
+  Alcotest.(check int) "len" 3 (Lru.length l);
+  Alcotest.(check bool) "2 gone" false (Lru.mem l 2)
+
+let test_lru_replace () =
+  let l = Lru.create ~capacity:2 () in
+  ignore (Lru.add l 1 "a");
+  ignore (Lru.add l 1 "a2");
+  Alcotest.(check int) "no dup" 1 (Lru.length l);
+  Alcotest.(check (option string)) "replaced" (Some "a2") (Lru.peek l 1)
+
+let test_lru_order () =
+  let l = Lru.create () in
+  ignore (Lru.add l 1 "a");
+  ignore (Lru.add l 2 "b");
+  ignore (Lru.add l 3 "c");
+  ignore (Lru.find l 1);
+  Alcotest.(check (list int)) "mru order" [ 1; 3; 2 ]
+    (List.map fst (Lru.to_list l));
+  Alcotest.(check (option (pair int string))) "pop lru" (Some (2, "b"))
+    (Lru.pop_lru l);
+  ignore (Lru.remove l 3);
+  Alcotest.(check (list int)) "after removal" [ 1 ] (List.map fst (Lru.to_list l))
+
+let prop_lru_model =
+  (* Compare against a naive list model. *)
+  QCheck.Test.make ~name:"lru matches model" ~count:200
+    QCheck.(list (pair (int_bound 10) (int_bound 100)))
+    (fun ops ->
+      let capacity = 4 in
+      let l = Lru.create ~capacity () in
+      let model = ref [] in
+      List.iter
+        (fun (k, v) ->
+          ignore (Lru.add l k v);
+          model := (k, v) :: List.remove_assoc k !model;
+          if List.length !model > capacity then
+            model := List.filteri (fun i _ -> i < capacity) !model)
+        ops;
+      List.sort compare (Lru.to_list l) = List.sort compare !model)
+
+(* CRC32 *)
+
+let test_crc32_vectors () =
+  (* Standard test vector: "123456789" -> 0xCBF43926. *)
+  Alcotest.(check int32) "check value" 0xCBF43926l
+    (Crc32.digest_string "123456789");
+  Alcotest.(check int32) "empty" 0l (Crc32.digest_string "");
+  Alcotest.(check bool) "sensitive" true
+    (Crc32.digest_string "a" <> Crc32.digest_string "b")
+
+let test_crc32_slice () =
+  let b = Bytes.of_string "xx123456789yy" in
+  Alcotest.(check int32) "slice" 0xCBF43926l (Crc32.digest_bytes ~off:2 ~len:9 b)
+
+(* RNG *)
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of bounds: %d" v;
+    let f = Rng.float r 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.failf "float out of bounds: %f" f
+  done
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 3 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "is permutation" true (sorted = Array.init 50 Fun.id)
+
+(* Zipf *)
+
+let test_zipf_skew () =
+  let z = Zipf.create ~n:100 ~theta:1.0 in
+  let r = Rng.create 5 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 10_000 do
+    let v = Zipf.sample z r in
+    counts.(v) <- counts.(v) + 1
+  done;
+  (* Rank 0 must be sampled much more than rank 99, and everything must
+     be in range (guaranteed by the array). *)
+  Alcotest.(check bool) "skewed" true (counts.(0) > 10 * max 1 counts.(99))
+
+let test_zipf_uniform () =
+  let z = Zipf.create ~n:10 ~theta:0.0 in
+  let r = Rng.create 6 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    counts.(Zipf.sample z r) <- counts.(Zipf.sample z r) + 1
+  done;
+  Array.iter
+    (fun c -> if c < 500 then Alcotest.failf "uniform too skewed: %d" c)
+    counts
+
+(* Codec *)
+
+let test_codec_basic () =
+  let e = Codec.encoder () in
+  Codec.u8 e 255;
+  Codec.u16 e 65535;
+  Codec.u32 e 0xDEADBEEF;
+  Codec.i64 e (-1L);
+  Codec.bool e true;
+  Codec.string_u16 e "hello";
+  let d = Codec.decoder (Codec.to_bytes e) in
+  Alcotest.(check int) "u8" 255 (Codec.read_u8 d);
+  Alcotest.(check int) "u16" 65535 (Codec.read_u16 d);
+  Alcotest.(check int) "u32" 0xDEADBEEF (Codec.read_u32 d);
+  Alcotest.(check int64) "i64" (-1L) (Codec.read_i64 d);
+  Alcotest.(check bool) "bool" true (Codec.read_bool d);
+  Alcotest.(check string) "string" "hello" (Codec.read_string_u16 d);
+  Alcotest.(check int) "drained" 0 (Codec.remaining d)
+
+let test_codec_errors () =
+  let e = Codec.encoder () in
+  Alcotest.(check bool) "u8 range" true
+    (try
+       Codec.u8 e 256;
+       false
+     with Codec.Error _ -> true);
+  let d = Codec.decoder (Bytes.create 1) in
+  Alcotest.(check bool) "truncated" true
+    (try
+       ignore (Codec.read_u32 d);
+       false
+     with Codec.Error _ -> true)
+
+let test_codec_pad () =
+  let e = Codec.encoder () in
+  Codec.u8 e 7;
+  Codec.pad_to e 16;
+  let b = Codec.to_bytes e in
+  Alcotest.(check int) "padded" 16 (Bytes.length b);
+  Alcotest.(check int) "zero fill" 0 (Char.code (Bytes.get b 10))
+
+let prop_codec_ints =
+  QCheck.Test.make ~name:"codec int roundtrips" ~count:500
+    QCheck.(triple (int_bound 0xFFFF) (int_bound 0x3FFFFFFF) int64)
+    (fun (a, b, c) ->
+      let e = Codec.encoder () in
+      Codec.u16 e a;
+      Codec.u32 e b;
+      Codec.i64 e c;
+      Codec.int_as_i64 e (a + b);
+      let d = Codec.decoder (Codec.to_bytes e) in
+      Codec.read_u16 d = a
+      && Codec.read_u32 d = b
+      && Codec.read_i64 d = c
+      && Codec.read_int_as_i64 d = a + b)
+
+let prop_codec_strings =
+  QCheck.Test.make ~name:"codec string roundtrips" ~count:200
+    QCheck.(small_list (string_of_size (Gen.int_bound 50)))
+    (fun strings ->
+      let e = Codec.encoder () in
+      List.iter (Codec.string_u16 e) strings;
+      let d = Codec.decoder (Codec.to_bytes e) in
+      List.for_all (fun s -> Codec.read_string_u16 d = s) strings)
+
+(* Table *)
+
+let test_table_render () =
+  let out =
+    Table.render ~headers:[ "name"; "n" ] [ [ "a"; "1" ]; [ "long"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "line count" 5 (List.length lines);
+  (* All non-empty lines same width. *)
+  let widths =
+    List.filter_map
+      (fun l -> if l = "" then None else Some (String.length l))
+      lines
+  in
+  List.iter (fun w -> Alcotest.(check int) "aligned" (List.hd widths) w) widths
+
+let test_table_formats () =
+  Alcotest.(check string) "bytes" "1.0 MB" (Table.fmt_bytes (1024 * 1024));
+  Alcotest.(check string) "kb" "1.5 KB" (Table.fmt_bytes 1536);
+  Alcotest.(check string) "ratio" "2.5x" (Table.fmt_ratio 2.5)
+
+let suite =
+  [
+    Alcotest.test_case "bitset basic" `Quick test_bitset_basic;
+    Alcotest.test_case "bitset wrap search" `Quick test_bitset_wrap_search;
+    Alcotest.test_case "bitset fill/clear all" `Quick test_bitset_fill_all;
+    qcheck prop_bitset_roundtrip;
+    Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+    Alcotest.test_case "lru replace" `Quick test_lru_replace;
+    Alcotest.test_case "lru order" `Quick test_lru_order;
+    qcheck prop_lru_model;
+    Alcotest.test_case "crc32 vectors" `Quick test_crc32_vectors;
+    Alcotest.test_case "crc32 slice" `Quick test_crc32_slice;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutes;
+    Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+    Alcotest.test_case "zipf uniform" `Quick test_zipf_uniform;
+    Alcotest.test_case "codec basic" `Quick test_codec_basic;
+    Alcotest.test_case "codec errors" `Quick test_codec_errors;
+    Alcotest.test_case "codec pad" `Quick test_codec_pad;
+    qcheck prop_codec_ints;
+    qcheck prop_codec_strings;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table formats" `Quick test_table_formats;
+  ]
