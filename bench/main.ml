@@ -14,10 +14,21 @@
 
 module Config = Lfs_core.Config
 module W = Lfs_workload
+module J = Lfs_obs.Json
 
 let quick = ref false
 let bechamel = ref false
 let selected = ref []
+
+(* Machine-readable output: each experiment contributes its figure's
+   numbers here; [--json FILE] writes the collection as
+   {"schema":"lfs-bench/1", ...} for plotting and regression tracking. *)
+let json_out = ref None
+let check_json = ref None
+let figures : (string * J.t) list ref = ref []
+
+let add_figure name j =
+  figures := (name, j) :: List.remove_assoc name !figures
 
 let say fmt = Printf.printf (fmt ^^ "\n%!")
 
@@ -36,6 +47,20 @@ let run_fig12 () =
   let results =
     List.map W.Creation_trace.run (W.Setup.both ~disk_mb:(if !quick then 16 else 64) ())
   in
+  add_figure "fig12"
+    (J.List
+       (List.map
+          (fun (r : W.Creation_trace.summary) ->
+            J.Obj
+              [
+                ("label", J.String r.W.Creation_trace.label);
+                ("writes", J.Int r.W.Creation_trace.writes);
+                ("sync_writes", J.Int r.W.Creation_trace.sync_writes);
+                ( "sequential_writes",
+                  J.Int r.W.Creation_trace.sequential_writes );
+                ("sectors_written", J.Int r.W.Creation_trace.sectors_written);
+              ])
+          results));
   print_string (W.Report.fig12 results)
 
 (* ------------------------------------------------------------------ *)
@@ -57,6 +82,26 @@ let run_fig3 () =
           (W.Setup.both ~disk_mb ()))
       cases
   in
+  add_figure "fig3"
+    (J.List
+       (List.map
+          (fun (r : W.Smallfile.result) ->
+            J.Obj
+              [
+                ("label", J.String r.W.Smallfile.label);
+                ("nfiles", J.Int r.W.Smallfile.nfiles);
+                ("file_size", J.Int r.W.Smallfile.file_size);
+                ("create_per_sec", J.Float r.W.Smallfile.create_per_sec);
+                ("read_per_sec", J.Float r.W.Smallfile.read_per_sec);
+                ("delete_per_sec", J.Float r.W.Smallfile.delete_per_sec);
+                ( "phases",
+                  J.Obj
+                    (List.map
+                       (fun (name, snap) ->
+                         (name, Lfs_obs.Metrics.to_json snap))
+                       r.W.Smallfile.phases) );
+              ])
+          results));
   print_string (W.Report.fig3 results)
 
 (* ------------------------------------------------------------------ *)
@@ -70,6 +115,27 @@ let run_fig4 () =
   let results =
     List.map (W.Largefile.run ~file_mb) (W.Setup.both ~disk_mb ())
   in
+  add_figure "fig4"
+    (J.List
+       (List.map
+          (fun (r : W.Largefile.result) ->
+            J.Obj
+              [
+                ("label", J.String r.W.Largefile.label);
+                ("file_mb", J.Int r.W.Largefile.file_mb);
+                ("seq_write_kbs", J.Float r.W.Largefile.seq_write_kbs);
+                ("seq_read_kbs", J.Float r.W.Largefile.seq_read_kbs);
+                ("rand_write_kbs", J.Float r.W.Largefile.rand_write_kbs);
+                ("rand_read_kbs", J.Float r.W.Largefile.rand_read_kbs);
+                ("seq_reread_kbs", J.Float r.W.Largefile.seq_reread_kbs);
+                ( "phases",
+                  J.Obj
+                    (List.map
+                       (fun (name, snap) ->
+                         (name, Lfs_obs.Metrics.to_json snap))
+                       r.W.Largefile.phases) );
+              ])
+          results));
   print_string (W.Report.fig4 results)
 
 (* ------------------------------------------------------------------ *)
@@ -92,6 +158,19 @@ let run_fig5 () =
     match Lfs_core.Fs.mount ~config io with Ok fs -> fs | Error e -> failwith e
   in
   let points = W.Cleaning.sweep ~utilizations make in
+  add_figure "fig5"
+    (J.List
+       (List.map
+          (fun (p : W.Cleaning.point) ->
+            J.Obj
+              [
+                ("utilization", J.Float p.W.Cleaning.utilization);
+                ("clean_kb_per_sec", J.Float p.W.Cleaning.clean_kb_per_sec);
+                ("net_kb_per_sec", J.Float p.W.Cleaning.net_kb_per_sec);
+                ("segments_cleaned", J.Int p.W.Cleaning.segments_cleaned);
+                ("write_cost", J.Float p.W.Cleaning.write_cost);
+              ])
+          points));
   print_string (W.Report.fig5 points)
 
 (* ------------------------------------------------------------------ *)
@@ -641,24 +720,122 @@ let default_order =
     "recovery"; "scaling"; "cache"; "trace";
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable output                                             *)
+(* ------------------------------------------------------------------ *)
+
+let bench_schema = "lfs-bench/1"
+
+let write_json file =
+  let doc =
+    J.Obj
+      [
+        ("schema", J.String bench_schema);
+        ("quick", J.Bool !quick);
+        ("figures", J.Obj (List.rev !figures));
+      ]
+  in
+  let oc = open_out file in
+  output_string oc (J.to_string_pretty doc);
+  output_char oc '\n';
+  close_out oc;
+  say "wrote %s" file
+
+(* Validate a [--json] file: the schema marker plus, for each figure
+   present, the fields a plotting script would reach for.  Exits
+   non-zero on the first problem. *)
+let run_check_json file =
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.eprintf "%s: %s\n" file s;
+        exit 1)
+      fmt
+  in
+  let doc =
+    let ic = open_in_bin file in
+    let len = in_channel_length ic in
+    let raw = really_input_string ic len in
+    close_in ic;
+    match J.of_string_opt raw with
+    | Some j -> j
+    | None -> fail "not valid JSON"
+  in
+  (match J.member "schema" doc with
+  | Some (J.String s) when s = bench_schema -> ()
+  | Some (J.String s) -> fail "schema %S, expected %S" s bench_schema
+  | _ -> fail "missing \"schema\"");
+  let figs =
+    match J.member "figures" doc with
+    | Some (J.Obj kvs) -> kvs
+    | _ -> fail "missing \"figures\" object"
+  in
+  if figs = [] then fail "\"figures\" is empty";
+  let num entry field =
+    match J.member field entry with
+    | Some v -> (
+        match J.to_float_opt v with
+        | Some f -> f
+        | None -> fail "field %S is not a number" field)
+    | None -> fail "missing field %S" field
+  in
+  let check_entries name fields =
+    match List.assoc_opt name figs with
+    | None -> ()
+    | Some (J.List entries) ->
+        if entries = [] then fail "figure %S has no entries" name;
+        List.iter
+          (fun entry -> List.iter (fun f -> ignore (num entry f)) fields)
+          entries;
+        say "%s: %s ok (%d entries)" file name (List.length entries)
+    | Some _ -> fail "figure %S is not a list" name
+  in
+  check_entries "fig12" [ "writes"; "sync_writes"; "sectors_written" ];
+  check_entries "fig3" [ "create_per_sec"; "read_per_sec"; "delete_per_sec" ];
+  check_entries "fig4"
+    [
+      "seq_write_kbs"; "seq_read_kbs"; "rand_write_kbs"; "rand_read_kbs";
+      "seq_reread_kbs";
+    ];
+  check_entries "fig5" [ "utilization"; "clean_kb_per_sec"; "write_cost" ]
+
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [--quick] [--bechamel] [--json FILE] [--check-json \
+     FILE] [experiment...]\nknown experiments: %s\n"
+    (String.concat ", " (List.map fst experiments));
+  exit 2
+
 let () =
-  Array.iteri
-    (fun i arg ->
-      if i > 0 then
-        match arg with
-        | "--quick" -> quick := true
-        | "--bechamel" -> bechamel := true
-        | name when List.mem_assoc name experiments ->
-            selected := name :: !selected
-        | other ->
-            Printf.eprintf "unknown experiment %S; known: %s\n" other
-              (String.concat ", " (List.map fst experiments));
-            exit 2)
-    Sys.argv;
-  if !bechamel then run_bechamel ()
-  else begin
-    let todo =
-      match List.rev !selected with [] -> default_order | l -> List.sort_uniq compare l
-    in
-    List.iter (fun name -> (List.assoc name experiments) ()) todo
-  end
+  let argc = Array.length Sys.argv in
+  let i = ref 1 in
+  while !i < argc do
+    (match Sys.argv.(!i) with
+    | "--quick" -> quick := true
+    | "--bechamel" -> bechamel := true
+    | "--json" when !i + 1 < argc ->
+        incr i;
+        json_out := Some Sys.argv.(!i)
+    | "--check-json" when !i + 1 < argc ->
+        incr i;
+        check_json := Some Sys.argv.(!i)
+    | name when List.mem_assoc name experiments ->
+        selected := name :: !selected
+    | other ->
+        Printf.eprintf "unknown argument %S\n" other;
+        usage ());
+    incr i
+  done;
+  match !check_json with
+  | Some file -> run_check_json file
+  | None ->
+      if !bechamel then run_bechamel ()
+      else begin
+        let todo =
+          match List.rev !selected with
+          | [] -> default_order
+          | l -> List.sort_uniq compare l
+        in
+        List.iter (fun name -> (List.assoc name experiments) ()) todo;
+        Option.iter write_json !json_out
+      end

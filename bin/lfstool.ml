@@ -246,6 +246,106 @@ let cmd_checkpoints image =
   let fs = mount_image image in
   print_string (Lfs_core.Inspect.describe_checkpoints fs)
 
+(* Observability surfaces *)
+
+module Bus = Lfs_obs.Bus
+module Event = Lfs_obs.Event
+module Json = Lfs_obs.Json
+module Metrics = Lfs_obs.Metrics
+module Driver = Lfs_workload.Driver
+
+let cmd_stats image json =
+  let fs = mount_image image in
+  let snap = Metrics.snapshot (Io.metrics (Fs.io fs)) in
+  if json then print_endline (Json.to_string_pretty (Metrics.to_json snap))
+  else print_string (Metrics.render snap)
+
+(* Trace ops are colon-separated tokens so a whole scenario fits on one
+   command line: mkdir:/d create:/d/f write:/d/f:8192 read:/d/f
+   delete:/d/f sync *)
+let parse_op tok =
+  match String.split_on_char ':' tok with
+  | [ "mkdir"; p ] -> `Mkdir p
+  | [ "create"; p ] -> `Create p
+  | [ "write"; p; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n >= 0 -> `Write (p, n)
+      | _ ->
+          Printf.eprintf "lfstool: trace: bad write size in %S\n" tok;
+          exit 2)
+  | [ "read"; p ] -> `Read p
+  | [ "delete"; p ] -> `Delete p
+  | [ "sync" ] -> `Sync
+  | _ ->
+      Printf.eprintf
+        "lfstool: trace: bad op %S (want mkdir:P create:P write:P:N read:P \
+         delete:P sync)\n"
+        tok;
+      exit 2
+
+let apply_op inst = function
+  | `Mkdir p -> Driver.mkdir inst p
+  | `Create p -> Driver.create inst p
+  | `Write (p, n) -> Driver.write inst p ~off:0 (Driver.content ~seed:7 n)
+  | `Read p ->
+      let stat = Driver.stat inst p in
+      ignore (Driver.read inst p ~off:0 ~len:stat.Lfs_vfs.Fs_intf.size)
+  | `Delete p -> Driver.delete inst p
+  | `Sync -> Driver.sync inst
+
+(* Replay [ops] on [inst] with an unbounded sink attached, and emit the
+   captured events as JSONL (one object per line, on stdout). *)
+let trace_instance inst ops =
+  let bus = Driver.bus inst in
+  let sink = Bus.attach bus in
+  Bus.emit bus
+    (Event.Note
+       { name = "trace_begin"; fields = [ ("system", Json.String (Driver.label inst)) ] });
+  List.iter (apply_op inst) ops;
+  Bus.emit bus
+    (Event.Note
+       { name = "trace_end"; fields = [ ("system", Json.String (Driver.label inst)) ] });
+  let records = Bus.records sink in
+  Bus.detach bus sink;
+  print_string (Event.to_jsonl records)
+
+(* The paper's Figure 1 scenario as a default: create two small files
+   and sync.  On LFS the trace ends in one sequential segment write; on
+   FFS (with --ffs) the same ops show synchronous inode and directory
+   writes scattered over the disk. *)
+let default_trace_ops =
+  [
+    `Create "/trace0"; `Write ("/trace0", 1024);
+    `Create "/trace1"; `Write ("/trace1", 1024); `Sync;
+  ]
+
+let cmd_trace image with_ffs ops =
+  let ops =
+    match ops with [] -> default_trace_ops | toks -> List.map parse_op toks
+  in
+  let fs = mount_image image in
+  (* Tracing replays the ops in memory only; the image file is left
+     untouched. *)
+  trace_instance (Lfs_vfs.Fs_intf.Instance ((module Fs), fs)) ops;
+  if with_ffs then begin
+    let size_bytes =
+      let g = Lfs_disk.Disk.geometry (Io.disk (Fs.io fs)) in
+      g.Geometry.sectors * g.Geometry.sector_size
+    in
+    let io = make_io ~size_bytes in
+    (match Lfs_ffs.Fs.format io Lfs_ffs.Config.default with
+    | Ok () -> ()
+    | Error e ->
+        Printf.eprintf "lfstool: trace: FFS format: %s\n" e;
+        exit 1);
+    match Lfs_ffs.Fs.mount io with
+    | Error e ->
+        Printf.eprintf "lfstool: trace: FFS mount: %s\n" e;
+        exit 1
+    | Ok ffs ->
+        trace_instance (Lfs_vfs.Fs_intf.Instance ((module Lfs_ffs.Fs), ffs)) ops
+  end
+
 (* Cmdliner plumbing *)
 
 open Cmdliner
@@ -301,6 +401,34 @@ let () =
       noarg "checkpoints" "Decode both checkpoint regions." cmd_checkpoints;
       noarg "clean" "Run the segment cleaner." cmd_clean;
       noarg "fsck" "Walk and verify the whole namespace." cmd_fsck;
+      (let json =
+         Arg.(
+           value & flag
+           & info [ "json" ] ~doc:"Emit the registry snapshot as JSON.")
+       in
+       Cmd.v
+         (Cmd.info "stats"
+            ~doc:"Mount the image and print its metrics registry.")
+         Term.(const cmd_stats $ image $ json));
+      (let with_ffs =
+         Arg.(
+           value & flag
+           & info [ "ffs" ]
+               ~doc:
+                 "Also replay the ops on a scratch FFS of the same size, \
+                  for comparison.")
+       in
+       let ops =
+         Arg.(value & pos_right 0 string [] & info [] ~docv:"OP")
+       in
+       Cmd.v
+         (Cmd.info "trace"
+            ~doc:
+              "Replay ops (mkdir:P create:P write:P:N read:P delete:P \
+               sync; default: two small file creations plus sync) against \
+               the image in memory and emit the trace-bus events as \
+               JSONL.  The image file is not modified.")
+         Term.(const cmd_trace $ image $ with_ffs $ ops));
     ]
   in
   exit

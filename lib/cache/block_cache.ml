@@ -1,5 +1,8 @@
 module Lru = Lfs_util.Lru
 module Clock = Lfs_disk.Clock
+module Bus = Lfs_obs.Bus
+module Event = Lfs_obs.Event
+module Metrics = Lfs_obs.Metrics
 
 type key = { owner : int; blkno : int }
 
@@ -11,23 +14,44 @@ type entry = {
 
 type t = {
   clock : Clock.t;
+  bus : Bus.t option;
   entries : (key, entry) Lru.t;
   capacity : int;
   mutable ndirty : int;
-  mutable hits : int;
-  mutable misses : int;
+  c_hits : Metrics.counter;
+  c_misses : Metrics.counter;
+  c_evictions : Metrics.counter;
+  c_writebacks : Metrics.counter;
 }
 
-let create ?(capacity_blocks = 4096) clock =
+let create ?(capacity_blocks = 4096) ?metrics ?bus clock =
   if capacity_blocks <= 0 then invalid_arg "Block_cache.create: capacity";
-  {
-    clock;
-    entries = Lru.create ();
-    capacity = capacity_blocks;
-    ndirty = 0;
-    hits = 0;
-    misses = 0;
-  }
+  let metrics =
+    match metrics with Some m -> m | None -> Metrics.create ()
+  in
+  let t =
+    {
+      clock;
+      bus;
+      entries = Lru.create ();
+      capacity = capacity_blocks;
+      ndirty = 0;
+      c_hits = Metrics.counter metrics "cache.hits";
+      c_misses = Metrics.counter metrics "cache.misses";
+      c_evictions = Metrics.counter metrics "cache.evictions";
+      c_writebacks = Metrics.counter metrics "cache.writebacks";
+    }
+  in
+  Metrics.gauge metrics "cache.blocks" (fun () ->
+      float_of_int (Lru.length t.entries));
+  Metrics.gauge metrics "cache.dirty_blocks" (fun () -> float_of_int t.ndirty);
+  t
+
+(* Allocate the event only when someone is listening. *)
+let emit t mk =
+  match t.bus with
+  | Some bus when Bus.enabled bus -> Bus.emit bus (mk ())
+  | Some _ | None -> ()
 
 let capacity_blocks t = t.capacity
 let length t = Lru.length t.entries
@@ -36,10 +60,14 @@ let dirty_count t = t.ndirty
 let find t key =
   match Lru.find t.entries key with
   | Some e ->
-      t.hits <- t.hits + 1;
+      Metrics.incr t.c_hits;
+      emit t (fun () ->
+          Event.Cache_hit { owner = key.owner; blkno = key.blkno });
       Some e.data
   | None ->
-      t.misses <- t.misses + 1;
+      Metrics.incr t.c_misses;
+      emit t (fun () ->
+          Event.Cache_miss { owner = key.owner; blkno = key.blkno });
       None
 
 let mem t key = Lru.mem t.entries key
@@ -63,7 +91,12 @@ let evict_clean t =
           else None)
         (List.rev (Lru.to_list t.entries))
     in
-    List.iter (fun k -> ignore (Lru.remove t.entries k)) victims
+    List.iter
+      (fun k ->
+        ignore (Lru.remove t.entries k);
+        Metrics.incr t.c_evictions;
+        emit t (fun () -> Event.Cache_evict { owner = k.owner; blkno = k.blkno }))
+      victims
   end
 
 let insert t key ~dirty data =
@@ -91,7 +124,10 @@ let mark_clean t key =
   | Some e ->
       if e.is_dirty then begin
         e.is_dirty <- false;
-        t.ndirty <- t.ndirty - 1
+        t.ndirty <- t.ndirty - 1;
+        Metrics.incr t.c_writebacks;
+        emit t (fun () ->
+            Event.Cache_writeback { owner = key.owner; blkno = key.blkno })
       end
 
 let remove t key =
@@ -131,5 +167,13 @@ let clear t =
   Lru.clear t.entries;
   t.ndirty <- 0
 
-let stats_hits t = t.hits
-let stats_misses t = t.misses
+let stats_hits t = Metrics.value t.c_hits
+let stats_misses t = Metrics.value t.c_misses
+let stats_evictions t = Metrics.value t.c_evictions
+let stats_writebacks t = Metrics.value t.c_writebacks
+
+let reset_stats t =
+  Metrics.reset_counter t.c_hits;
+  Metrics.reset_counter t.c_misses;
+  Metrics.reset_counter t.c_evictions;
+  Metrics.reset_counter t.c_writebacks

@@ -21,10 +21,20 @@ type t
 
 type key = { owner : int; blkno : int }
 
-val create : ?capacity_blocks:int -> Lfs_disk.Clock.t -> t
+val create :
+  ?capacity_blocks:int ->
+  ?metrics:Lfs_obs.Metrics.t ->
+  ?bus:Lfs_obs.Bus.t ->
+  Lfs_disk.Clock.t ->
+  t
 (** [create ~capacity_blocks clock] — default capacity: 4096 blocks
     (16 MB of 4 KB blocks, matching the ~15 MB cache in the paper's
-    tests). *)
+    tests).
+
+    [metrics] registers the [cache.*] counters and gauges there (a
+    private registry otherwise); [bus] publishes
+    [Cache_{hit,miss,evict,writeback}] trace events (silent
+    otherwise). *)
 
 val capacity_blocks : t -> int
 val length : t -> int
@@ -79,3 +89,16 @@ val clear : t -> unit
 val stats_hits : t -> int
 val stats_misses : t -> int
 (** [find] hit/miss counters (a miss is a [find] returning [None]). *)
+
+val stats_evictions : t -> int
+(** Clean entries reclaimed by capacity pressure ({!evict_clean}) —
+    deliberate flushes ({!drop_clean}, {!remove}, {!clear}) don't
+    count. *)
+
+val stats_writebacks : t -> int
+(** Dirty entries released by {!mark_clean} (the block reached disk or a
+    segment buffer). *)
+
+val reset_stats : t -> unit
+(** Zero hit/miss/eviction/write-back counters, mirroring
+    [Disk.reset_stats]. *)

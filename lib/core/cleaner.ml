@@ -1,6 +1,9 @@
 module Cache = Lfs_cache.Block_cache
 module Errors = Lfs_vfs.Errors
 module Io = Lfs_disk.Io
+module Metrics = Lfs_obs.Metrics
+module Bus = Lfs_obs.Bus
+module Event = Lfs_obs.Event
 
 let select_victims ?live_budget (st : State.t) ~batch =
   let usage = st.usage in
@@ -168,8 +171,8 @@ let clean_segment (st : State.t) seg ~moved ~max_seq =
       ~sector:(Layout.sector_of_block layout first)
       ~count:(layout.Layout.summary_blocks * layout.Layout.block_sectors)
   in
-  st.stats.cleaner_bytes_read <-
-    st.stats.cleaner_bytes_read + (layout.Layout.summary_blocks * bs);
+  Metrics.add st.counters.State.c_cleaner_bytes_read
+    (layout.Layout.summary_blocks * bs);
   match Summary.decode summary_region with
   | None ->
       (* No valid summary: nothing live can be in this segment (it was
@@ -184,8 +187,8 @@ let clean_segment (st : State.t) seg ~moved ~max_seq =
                (first + layout.Layout.summary_blocks))
           ~count:(header.Summary.nblocks * layout.Layout.block_sectors)
       in
-      st.stats.cleaner_bytes_read <-
-        st.stats.cleaner_bytes_read + (header.Summary.nblocks * bs);
+      Metrics.add st.counters.State.c_cleaner_bytes_read
+        (header.Summary.nblocks * bs);
       List.iteri
         (fun idx entry ->
           let addr = Layout.segment_payload_block layout ~seg ~idx in
@@ -202,10 +205,14 @@ let clean_victims (st : State.t) victims =
     Fun.protect
       ~finally:(fun () -> st.cleaning <- false)
       (fun () ->
+        Bus.with_span st.bus "cleaner_pass" @@ fun () ->
+        let read_before =
+          Metrics.value st.counters.State.c_cleaner_bytes_read
+        in
         let moved = ref 0 in
         let max_seq = ref 0 in
         List.iter (fun seg -> clean_segment st seg ~moved ~max_seq) victims;
-        st.stats.cleaner_bytes_moved <- st.stats.cleaner_bytes_moved + !moved;
+        Metrics.add st.counters.State.c_cleaner_bytes_moved !moved;
         (* Persist the evacuations (pointer blocks, inodes, imap/usage
            blocks) and wait for the device before the victims become
            reusable.  Crash recovery reaches the moved copies by rolling
@@ -234,8 +241,19 @@ let clean_victims (st : State.t) victims =
                 Seg_usage.set_state st.usage seg Seg_usage.Clean)
               victims;
             let n = List.length victims in
-            st.stats.segments_cleaned <- st.stats.segments_cleaned + n;
-            st.stats.cleaner_passes <- st.stats.cleaner_passes + 1;
+            Metrics.add st.counters.State.c_segments_cleaned n;
+            Metrics.incr st.counters.State.c_cleaner_passes;
+            if Bus.enabled st.bus then
+              Bus.emit st.bus
+                (Event.Cleaner_pass
+                   {
+                     victims = n;
+                     freed = n;
+                     bytes_read =
+                       Metrics.value st.counters.State.c_cleaner_bytes_read
+                       - read_before;
+                     bytes_moved = !moved;
+                   });
             n
         | exception Errors.Error Errors.Enospc ->
             (* Could not persist the evacuations: the victims must stay
@@ -315,10 +333,11 @@ let clean_to_target ?target (st : State.t) =
 
 let write_cost (st : State.t) =
   let bs = st.layout.Layout.block_size in
-  let logged = st.stats.blocks_logged * bs in
-  let overhead = st.stats.cleaner_bytes_read + st.stats.cleaner_bytes_moved in
-  let new_data = logged - st.stats.cleaner_bytes_moved in
+  let v c = Metrics.value c in
+  let logged = v st.counters.State.c_blocks_logged * bs in
+  let bytes_read = v st.counters.State.c_cleaner_bytes_read in
+  let bytes_moved = v st.counters.State.c_cleaner_bytes_moved in
+  let overhead = bytes_read + bytes_moved in
+  let new_data = logged - bytes_moved in
   if new_data <= 0 then 1.0
-  else
-    float_of_int (logged + overhead - st.stats.cleaner_bytes_moved)
-    /. float_of_int new_data
+  else float_of_int (logged + overhead - bytes_moved) /. float_of_int new_data

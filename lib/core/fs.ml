@@ -10,7 +10,7 @@ let name = "LFS"
 let io (st : t) = st.io
 let config (st : t) = st.config
 let layout (st : t) = st.layout
-let stats (st : t) = st.stats
+let stats (st : t) = State.stats_view st
 
 (* Flush user data, alternating with cleaning passes whenever the log
    runs out of clean segments.  Raises [Enospc] only when the cleaner can

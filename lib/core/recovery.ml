@@ -105,7 +105,11 @@ let replay_segment (st : State.t) seg (header : Summary.header) entries payload 
     entries;
   st.tail_segment <- seg;
   st.next_seq <- header.Summary.seq + 1;
-  st.stats.rollforward_segments <- st.stats.rollforward_segments + 1
+  Lfs_obs.Metrics.incr st.counters.State.c_rollforward_segments;
+  if Lfs_obs.Bus.enabled st.bus then
+    Lfs_obs.Bus.emit st.bus
+      (Lfs_obs.Event.Rollforward
+         { seg; seq = header.Summary.seq; entries = List.length entries })
 
 let roll_forward (st : State.t) ~from_seq =
   let layout = st.layout in
@@ -236,8 +240,10 @@ let recover io config layout =
   | Some cp ->
       load_checkpoint st cp;
       if config.Config.roll_forward then begin
-        roll_forward st ~from_seq:cp.Checkpoint.seq;
-        if st.stats.rollforward_segments > 0 then begin
+        Lfs_obs.Bus.with_span st.bus "roll_forward" (fun () ->
+            roll_forward st ~from_seq:cp.Checkpoint.seq);
+        if Lfs_obs.Metrics.value st.counters.State.c_rollforward_segments > 0
+        then begin
           repair_namespace st;
           (* Make the next crash recover instantly from what we just
              replayed.  On a log with no clean segments the checkpoint

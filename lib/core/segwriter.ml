@@ -1,5 +1,8 @@
 module Errors = Lfs_vfs.Errors
 module Io = Lfs_disk.Io
+module Metrics = Lfs_obs.Metrics
+module Bus = Lfs_obs.Bus
+module Event = Lfs_obs.Event
 
 let active_blocks (st : State.t) = if st.seg.seg < 0 then 0 else st.seg.nblocks
 
@@ -33,9 +36,14 @@ let flush_active (st : State.t) =
     Seg_usage.set_state st.usage seg.seg Seg_usage.Dirty;
     st.tail_segment <- seg.seg;
     st.next_seq <- st.next_seq + 1;
-    st.stats.segments_written <- st.stats.segments_written + 1;
-    if seg.nblocks < layout.Layout.payload_blocks then
-      st.stats.partial_segments <- st.stats.partial_segments + 1;
+    let partial = seg.nblocks < layout.Layout.payload_blocks in
+    Metrics.incr st.counters.State.c_segments_written;
+    if partial then Metrics.incr st.counters.State.c_partial_segments;
+    if Bus.enabled st.bus then
+      Bus.emit st.bus
+        (Event.Segment_write
+           { seg = seg.seg; seq = header.Summary.seq; blocks = seg.nblocks;
+             partial });
     seg.seg <- -1;
     seg.nblocks <- 0;
     seg.entries_rev <- []
@@ -82,5 +90,5 @@ let append (st : State.t) ~privilege ~entry ~live_bytes data =
   let addr = Layout.segment_payload_block layout ~seg:seg.seg ~idx in
   Seg_usage.add_live st.usage seg.seg ~bytes:live_bytes
     ~now_us:(Io.now_us st.io);
-  st.stats.blocks_logged <- st.stats.blocks_logged + 1;
+  Metrics.incr st.counters.State.c_blocks_logged;
   addr

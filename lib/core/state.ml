@@ -6,6 +6,8 @@
     behaviour lives there.  The public face of the library is {!Fs}. *)
 
 module Bitset = Lfs_util.Bitset
+module Metrics = Lfs_obs.Metrics
+module Bus = Lfs_obs.Bus
 
 (** Cache-owner conventions.  Real files use their (positive) inum;
     by-address blocks (inode blocks, indirect blocks read from disk) use
@@ -49,18 +51,19 @@ type lfs_stats = {
   mutable rollforward_segments : int;
 }
 
-let fresh_stats () =
-  {
-    segments_written = 0;
-    partial_segments = 0;
-    blocks_logged = 0;
-    segments_cleaned = 0;
-    cleaner_bytes_read = 0;
-    cleaner_bytes_moved = 0;
-    cleaner_passes = 0;
-    checkpoints = 0;
-    rollforward_segments = 0;
-  }
+(* The registry counters behind {!lfs_stats}.  Operational modules bump
+   these; the record above is only a compatibility view. *)
+type lfs_counters = {
+  c_segments_written : Metrics.counter;
+  c_partial_segments : Metrics.counter;
+  c_blocks_logged : Metrics.counter;
+  c_segments_cleaned : Metrics.counter;
+  c_cleaner_bytes_read : Metrics.counter;
+  c_cleaner_bytes_moved : Metrics.counter;
+  c_cleaner_passes : Metrics.counter;
+  c_checkpoints : Metrics.counter;
+  c_rollforward_segments : Metrics.counter;
+}
 
 (** Write privilege: [`User] writes may not consume the reserve segments
     (so the cleaner always has room to work); [`System] writes (cleaner,
@@ -89,21 +92,49 @@ type t = {
   mutable flushing : bool;  (** re-entrancy guard for the write path *)
   mutable policy : Config.policy;  (** runtime-adjustable cleaning policy *)
   mutable auto_clean : bool;  (** runtime-adjustable *)
-  stats : lfs_stats;
+  metrics : Metrics.t;  (** the I/O stack's shared registry *)
+  bus : Bus.t;  (** the I/O stack's trace bus *)
+  counters : lfs_counters;
 }
 
 let root_inum = 1
 
 let create io config layout =
+  let metrics = Lfs_disk.Io.metrics io in
+  (* A mount starts its operation counters from zero even when the
+     underlying io is reused (remount), matching the old per-mount
+     [lfs_stats] record.  Registration is get-or-create, so the registry
+     keeps one set of [lfs.*] instruments across remounts. *)
+  Metrics.reset_prefix metrics "lfs.";
+  let counters =
+    {
+      c_segments_written = Metrics.counter metrics "lfs.segments_written";
+      c_partial_segments = Metrics.counter metrics "lfs.partial_segments";
+      c_blocks_logged = Metrics.counter metrics "lfs.blocks_logged";
+      c_segments_cleaned = Metrics.counter metrics "lfs.segments_cleaned";
+      c_cleaner_bytes_read = Metrics.counter metrics "lfs.cleaner_bytes_read";
+      c_cleaner_bytes_moved = Metrics.counter metrics "lfs.cleaner_bytes_moved";
+      c_cleaner_passes = Metrics.counter metrics "lfs.cleaner_passes";
+      c_checkpoints = Metrics.counter metrics "lfs.checkpoints";
+      c_rollforward_segments =
+        Metrics.counter metrics "lfs.rollforward_segments";
+    }
+  in
+  let usage = Seg_usage.create layout in
+  Metrics.gauge metrics "lfs.clean_segments" (fun () ->
+      float_of_int (Seg_usage.nclean usage));
+  Metrics.gauge metrics "lfs.live_bytes" (fun () ->
+      float_of_int (Seg_usage.total_live_bytes usage));
   {
     io;
     config;
     layout;
     cache =
       Lfs_cache.Block_cache.create ~capacity_blocks:config.Config.cache_blocks
+        ~metrics ~bus:(Lfs_disk.Io.bus io)
         (Lfs_disk.Io.clock io);
     imap = Imap.create layout;
-    usage = Seg_usage.create layout;
+    usage;
     itable = Hashtbl.create 256;
     seg =
       {
@@ -123,7 +154,24 @@ let create io config layout =
     flushing = false;
     policy = config.Config.policy;
     auto_clean = config.Config.auto_clean;
-    stats = fresh_stats ();
+    metrics;
+    bus = Lfs_disk.Io.bus io;
+    counters;
+  }
+
+(** Build the compatibility [lfs_stats] view from the registry counters. *)
+let stats_view t =
+  let v c = Metrics.value c in
+  {
+    segments_written = v t.counters.c_segments_written;
+    partial_segments = v t.counters.c_partial_segments;
+    blocks_logged = v t.counters.c_blocks_logged;
+    segments_cleaned = v t.counters.c_segments_cleaned;
+    cleaner_bytes_read = v t.counters.c_cleaner_bytes_read;
+    cleaner_bytes_moved = v t.counters.c_cleaner_bytes_moved;
+    cleaner_passes = v t.counters.c_cleaner_passes;
+    checkpoints = v t.counters.c_checkpoints;
+    rollforward_segments = v t.counters.c_rollforward_segments;
   }
 
 let fresh_itable_entry ino =

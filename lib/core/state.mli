@@ -32,6 +32,8 @@ type segbuf = {
   mutable entries_rev : Summary.entry list;
 }
 
+(** Compatibility view of the [lfs.*] registry counters: a fresh record
+    built by {!stats_view}; mutating it does not affect the registry. *)
 type lfs_stats = {
   mutable segments_written : int;
   mutable partial_segments : int;
@@ -44,7 +46,20 @@ type lfs_stats = {
   mutable rollforward_segments : int;
 }
 
-val fresh_stats : unit -> lfs_stats
+(** Registry counter handles behind {!lfs_stats} ([lfs.*] instruments in
+    the I/O stack's registry).  Operational modules bump these via
+    {!Lfs_obs.Metrics.incr}/[add]. *)
+type lfs_counters = {
+  c_segments_written : Lfs_obs.Metrics.counter;
+  c_partial_segments : Lfs_obs.Metrics.counter;
+  c_blocks_logged : Lfs_obs.Metrics.counter;
+  c_segments_cleaned : Lfs_obs.Metrics.counter;
+  c_cleaner_bytes_read : Lfs_obs.Metrics.counter;
+  c_cleaner_bytes_moved : Lfs_obs.Metrics.counter;
+  c_cleaner_passes : Lfs_obs.Metrics.counter;
+  c_checkpoints : Lfs_obs.Metrics.counter;
+  c_rollforward_segments : Lfs_obs.Metrics.counter;
+}
 
 (** [`User] writes may not consume the reserve segments; [`System]
     (cleaner, checkpoint) may. *)
@@ -70,9 +85,18 @@ type t = {
   mutable flushing : bool;
   mutable policy : Config.policy;
   mutable auto_clean : bool;
-  stats : lfs_stats;
+  metrics : Lfs_obs.Metrics.t;
+  bus : Lfs_obs.Bus.t;
+  counters : lfs_counters;
 }
 
 val root_inum : int
+
 val create : Lfs_disk.Io.t -> Config.t -> Layout.t -> t
+(** Adopts the io's registry and bus; resets the [lfs.*] instruments so a
+    remount starts counting from zero (the registry itself is shared). *)
+
+val stats_view : t -> lfs_stats
+(** A fresh snapshot record of the [lfs.*] counters. *)
+
 val fresh_itable_entry : Inode.t -> itable_entry

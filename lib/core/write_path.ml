@@ -273,7 +273,11 @@ let checkpoint ?(privilege = `System) (st : State.t) =
   Io.sync_write st.io
     ~sector:(Layout.sector_of_block st.layout region_block)
     region;
+  let region_idx = if st.cp_flip then 1 else 0 in
   st.cp_flip <- not st.cp_flip;
   st.last_checkpoint_us <- Io.now_us st.io;
   st.last_cp_seq <- cp.Checkpoint.seq;
-  st.stats.checkpoints <- st.stats.checkpoints + 1
+  Lfs_obs.Metrics.incr st.counters.State.c_checkpoints;
+  if Lfs_obs.Bus.enabled st.bus then
+    Lfs_obs.Bus.emit st.bus
+      (Lfs_obs.Event.Checkpoint { seq = cp.Checkpoint.seq; region = region_idx })

@@ -1,3 +1,5 @@
+module Metrics = Lfs_obs.Metrics
+
 exception Crash
 
 type stats = {
@@ -12,21 +14,31 @@ type stats = {
 type t = {
   geometry : Geometry.t;
   store : Bytes.t;
-  stats : stats;
+  metrics : Metrics.t;
+  c_reads : Metrics.counter;
+  c_writes : Metrics.counter;
+  c_sectors_read : Metrics.counter;
+  c_sectors_written : Metrics.counter;
+  c_seeks : Metrics.counter;
+  c_busy_us : Metrics.counter;
   mutable head_cyl : int;
   mutable next_sector : int;  (* sector following the last transfer *)
   mutable crash_countdown : int option;
   mutable crashed : bool;
 }
 
-let fresh_stats () =
-  { reads = 0; writes = 0; sectors_read = 0; sectors_written = 0; seeks = 0; busy_us = 0 }
-
 let create geometry =
+  let metrics = Metrics.create () in
   {
     geometry;
     store = Bytes.make (Geometry.size_bytes geometry) '\000';
-    stats = fresh_stats ();
+    metrics;
+    c_reads = Metrics.counter metrics "disk.reads";
+    c_writes = Metrics.counter metrics "disk.writes";
+    c_sectors_read = Metrics.counter metrics "disk.sectors_read";
+    c_sectors_written = Metrics.counter metrics "disk.sectors_written";
+    c_seeks = Metrics.counter metrics "disk.seeks";
+    c_busy_us = Metrics.counter metrics "disk.busy_us";
     head_cyl = 0;
     next_sector = 0;
     crash_countdown = None;
@@ -34,16 +46,25 @@ let create geometry =
   }
 
 let geometry t = t.geometry
-let stats t = t.stats
+let metrics t = t.metrics
 
-let reset_stats t =
-  let s = t.stats in
-  s.reads <- 0;
-  s.writes <- 0;
-  s.sectors_read <- 0;
-  s.sectors_written <- 0;
-  s.seeks <- 0;
-  s.busy_us <- 0
+(* Compatibility view: the record is rebuilt from the registry counters
+   on every call.  Readers see the same numbers as before the registry
+   existed; writes to the returned record go nowhere. *)
+let stats t =
+  {
+    reads = Metrics.value t.c_reads;
+    writes = Metrics.value t.c_writes;
+    sectors_read = Metrics.value t.c_sectors_read;
+    sectors_written = Metrics.value t.c_sectors_written;
+    seeks = Metrics.value t.c_seeks;
+    busy_us = Metrics.value t.c_busy_us;
+  }
+
+let seek_count t = Metrics.value t.c_seeks
+let busy_us t = Metrics.value t.c_busy_us
+
+let reset_stats t = Metrics.reset_prefix t.metrics "disk."
 
 let check_range t sector count =
   if sector < 0 || count <= 0 || sector + count > t.geometry.Geometry.sectors then
@@ -61,7 +82,7 @@ let service t ~sector ~count =
     if sector = t.next_sector then 0
     else begin
       let seek = Geometry.seek_us g ~from_cyl:t.head_cyl ~to_cyl:cyl in
-      if seek > 0 then t.stats.seeks <- t.stats.seeks + 1;
+      if seek > 0 then Metrics.incr t.c_seeks;
       seek + Geometry.avg_rotational_latency_us g
     end
   in
@@ -72,10 +93,9 @@ let service t ~sector ~count =
 let read t ~sector ~count =
   check_range t sector count;
   let us = service t ~sector ~count in
-  let s = t.stats in
-  s.reads <- s.reads + 1;
-  s.sectors_read <- s.sectors_read + count;
-  s.busy_us <- s.busy_us + us;
+  Metrics.incr t.c_reads;
+  Metrics.add t.c_sectors_read count;
+  Metrics.add t.c_busy_us us;
   let ss = t.geometry.Geometry.sector_size in
   (Bytes.sub t.store (sector * ss) (count * ss), us)
 
@@ -98,10 +118,9 @@ let write t ~sector data =
   Bytes.blit data 0 t.store (sector * ss) (persisted * ss);
   if t.crashed then raise Crash;
   let us = service t ~sector ~count in
-  let s = t.stats in
-  s.writes <- s.writes + 1;
-  s.sectors_written <- s.sectors_written + count;
-  s.busy_us <- s.busy_us + us;
+  Metrics.incr t.c_writes;
+  Metrics.add t.c_sectors_written count;
+  Metrics.add t.c_busy_us us;
   us
 
 let set_crash_after t ~sectors =

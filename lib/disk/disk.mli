@@ -27,8 +27,25 @@ type stats = {
 
 val create : Geometry.t -> t
 val geometry : t -> Geometry.t
+
+val metrics : t -> Lfs_obs.Metrics.t
+(** The metrics registry owned by this disk's I/O stack.  The disk
+    registers its own instruments under [disk.*]; higher layers sharing
+    the stack (the {!Io} scheduler, caches, file systems) add theirs
+    here, so one registry describes the whole instance. *)
+
 val stats : t -> stats
+(** Compatibility view over the [disk.*] registry counters: a fresh
+    record per call.  Mutating the returned record has no effect. *)
+
+val seek_count : t -> int
+(** Cheap accessor for [disk.seeks] (the hot path reads it around every
+    request to classify transfers as sequential). *)
+
+val busy_us : t -> int
+
 val reset_stats : t -> unit
+(** Zero the [disk.*] counters (other registry entries are untouched). *)
 
 val read : t -> sector:int -> count:int -> bytes * int
 (** [read t ~sector ~count] returns the data of [count] sectors and the

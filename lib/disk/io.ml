@@ -1,3 +1,7 @@
+module Bus = Lfs_obs.Bus
+module Event = Lfs_obs.Event
+module Metrics = Lfs_obs.Metrics
+
 type request = {
   issued_at_us : int;
   kind : [ `Read | `Write ];
@@ -12,19 +16,38 @@ type t = {
   disk : Disk.t;
   clock : Clock.t;
   cpu : Cpu_model.t;
+  bus : Bus.t;
+  h_read_us : Metrics.histogram;
+  h_write_us : Metrics.histogram;
+  h_request_sectors : Metrics.histogram;
   max_backlog_us : int;
   mutable busy_until_us : int;
-  mutable recording : bool;
-  mutable log : request list;  (* newest first *)
+  mutable audit : Bus.sink option;  (* the legacy request log, as a sink *)
 }
+
+let is_disk_request = function Event.Disk_request _ -> true | _ -> false
 
 let create ?(max_backlog_us = 2_000_000) disk clock cpu =
   if max_backlog_us < 0 then invalid_arg "Io.create: negative backlog";
-  { disk; clock; cpu; max_backlog_us; busy_until_us = 0; recording = false; log = [] }
+  let metrics = Disk.metrics disk in
+  {
+    disk;
+    clock;
+    cpu;
+    bus = Bus.create ~now:(fun () -> Clock.now_us clock) ();
+    h_read_us = Metrics.histogram metrics "io.read_us";
+    h_write_us = Metrics.histogram metrics "io.write_us";
+    h_request_sectors = Metrics.histogram metrics "io.request_sectors";
+    max_backlog_us;
+    busy_until_us = 0;
+    audit = None;
+  }
 
 let disk t = t.disk
 let clock t = t.clock
 let cpu t = t.cpu
+let bus t = t.bus
+let metrics t = Disk.metrics t.disk
 let now_us t = Clock.now_us t.clock
 
 let charge_cpu t us = Clock.advance_us t.clock us
@@ -33,10 +56,21 @@ let charge_copy t ~bytes = charge_cpu t (Cpu_model.copy_us t.cpu ~bytes)
 let charge_lookup t = charge_cpu t t.cpu.Cpu_model.lookup_us
 
 let record t ~kind ~sync ~sector ~sectors ~service_us ~sequential =
-  if t.recording then
-    t.log <-
-      { issued_at_us = now_us t; kind; sync; sector; sectors; service_us; sequential }
-      :: t.log
+  Metrics.observe
+    (match kind with `Read -> t.h_read_us | `Write -> t.h_write_us)
+    service_us;
+  Metrics.observe t.h_request_sectors sectors;
+  if Bus.enabled t.bus then
+    Bus.emit t.bus
+      (Event.Disk_request
+         {
+           kind = (match kind with `Read -> Event.Read | `Write -> Event.Write);
+           sync;
+           sector;
+           sectors;
+           service_us;
+           sequential;
+         })
 
 let sector_size t = (Disk.geometry t.disk).Geometry.sector_size
 
@@ -46,9 +80,9 @@ let start_time t = max (now_us t) t.busy_until_us
 
 let sync_read t ~sector ~count =
   let start = start_time t in
-  let before_seeks = (Disk.stats t.disk).Disk.seeks in
+  let before_seeks = Disk.seek_count t.disk in
   let data, service_us = Disk.read t.disk ~sector ~count in
-  let sequential = (Disk.stats t.disk).Disk.seeks = before_seeks in
+  let sequential = Disk.seek_count t.disk = before_seeks in
   record t ~kind:`Read ~sync:true ~sector ~sectors:count ~service_us ~sequential;
   Clock.advance_to_us t.clock (start + service_us);
   t.busy_until_us <- Clock.now_us t.clock;
@@ -56,20 +90,20 @@ let sync_read t ~sector ~count =
 
 let sync_write t ~sector data =
   let start = start_time t in
-  let before_seeks = (Disk.stats t.disk).Disk.seeks in
+  let before_seeks = Disk.seek_count t.disk in
   let service_us = Disk.write t.disk ~sector data in
   let sectors = Bytes.length data / sector_size t in
-  let sequential = (Disk.stats t.disk).Disk.seeks = before_seeks in
+  let sequential = Disk.seek_count t.disk = before_seeks in
   record t ~kind:`Write ~sync:true ~sector ~sectors ~service_us ~sequential;
   Clock.advance_to_us t.clock (start + service_us);
   t.busy_until_us <- Clock.now_us t.clock
 
 let async_write t ~sector data =
   let start = start_time t in
-  let before_seeks = (Disk.stats t.disk).Disk.seeks in
+  let before_seeks = Disk.seek_count t.disk in
   let service_us = Disk.write t.disk ~sector data in
   let sectors = Bytes.length data / sector_size t in
-  let sequential = (Disk.stats t.disk).Disk.seeks = before_seeks in
+  let sequential = Disk.seek_count t.disk = before_seeks in
   record t ~kind:`Write ~sync:false ~sector ~sectors ~service_us ~sequential;
   t.busy_until_us <- start + service_us;
   (* Writer throttling: the application may run ahead of the disk only by
@@ -81,8 +115,39 @@ let drain t = Clock.advance_to_us t.clock t.busy_until_us
 
 let backlog_us t = max 0 (t.busy_until_us - Clock.now_us t.clock)
 
-let set_recording t on =
-  t.recording <- on;
-  t.log <- []
+let recording t = t.audit <> None
 
-let requests t = List.rev t.log
+let set_recording t on =
+  match (t.audit, on) with
+  | None, true ->
+      t.audit <- Some (Bus.attach ~filter:is_disk_request t.bus)
+  | Some _, true ->
+      (* Already recording: keep the prefix.  (Historically this cleared
+         the log — a footgun that silently dropped the Figure 1/2 audit
+         when tracing was enabled mid-run.) *)
+      ()
+  | Some sink, false ->
+      Bus.detach t.bus sink;
+      t.audit <- None
+  | None, false -> ()
+
+let request_of_record (r : Event.record) =
+  match r.Event.event with
+  | Event.Disk_request { kind; sync; sector; sectors; service_us; sequential }
+    ->
+      Some
+        {
+          issued_at_us = r.Event.at_us;
+          kind = (match kind with Event.Read -> `Read | Event.Write -> `Write);
+          sync;
+          sector;
+          sectors;
+          service_us;
+          sequential;
+        }
+  | _ -> None
+
+let requests t =
+  match t.audit with
+  | None -> []
+  | Some sink -> List.filter_map request_of_record (Bus.records sink)

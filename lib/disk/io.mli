@@ -13,9 +13,12 @@
     - [drain] waits for the device to go idle ([sync]/[fsync], and phase
       boundaries in benchmarks).
 
-    The scheduler can record a request log; the Figure 1/2 experiment
-    audits it to show FFS's eight small random writes versus LFS's single
-    large sequential one. *)
+    Every request is published on the instance's {!Lfs_obs.Bus} as a
+    [Disk_request] event and observed in the [io.*] registry histograms;
+    the legacy request log ({!set_recording}/{!requests}) is a thin view
+    over a bus sink.  The Figure 1/2 experiment audits it to show FFS's
+    eight small random writes versus LFS's single large sequential
+    one. *)
 
 type t
 
@@ -38,6 +41,14 @@ val clock : t -> Clock.t
 val cpu : t -> Cpu_model.t
 val now_us : t -> int
 
+val bus : t -> Lfs_obs.Bus.t
+(** The trace bus for this I/O stack.  Quiet (and nearly free) until a
+    sink or subscriber is attached. *)
+
+val metrics : t -> Lfs_obs.Metrics.t
+(** The registry shared by the whole stack (same as
+    [Disk.metrics (disk t)]). *)
+
 (** {1 CPU accounting} *)
 
 val charge_cpu : t -> int -> unit
@@ -56,11 +67,18 @@ val drain : t -> unit
 val backlog_us : t -> int
 (** Queued device time not yet reached by the clock. *)
 
-(** {1 Request log} *)
+(** {1 Request log}
+
+    A compatibility view over the trace bus: recording attaches an
+    internal unbounded sink filtered to [Disk_request] events. *)
+
+val recording : t -> bool
 
 val set_recording : t -> bool -> unit
-(** Enable/disable the request log (disabled by default; enabling clears
-    any previous log). *)
+(** Enable/disable the request log (disabled by default).  Enabling when
+    already enabled is a no-op — the log prefix is {e kept}, so turning
+    tracing on mid-run can never silently drop an audit prefix (it used
+    to clear the log).  Disabling discards the log. *)
 
 val requests : t -> request list
-(** Recorded requests, oldest first. *)
+(** Recorded requests, oldest first.  Empty when recording is off. *)

@@ -4,6 +4,15 @@ module Errors = Lfs_vfs.Errors
 module Fs_intf = Lfs_vfs.Fs_intf
 module Io = Lfs_disk.Io
 module Path = Lfs_vfs.Path
+module Bus = Lfs_obs.Bus
+module Event = Lfs_obs.Event
+
+(* Announce a synchronous metadata write on the trace bus — the pattern
+   the paper blames for FFS's small-file performance (§2). *)
+let trace_sync_write io ~what ~sector ~sectors =
+  let bus = Io.bus io in
+  if Bus.enabled bus then
+    Bus.emit bus (Event.Ffs_sync_write { what; sector; sectors })
 
 let owner_raw = -3
 
@@ -54,6 +63,8 @@ let store_inode t (ino : Inode.t option) ~inum ~mode =
   | None -> Inode.clear_slot block ~off:(slot * Layout.inode_bytes));
   match mode with
   | `Sync ->
+      trace_sync_write t.io ~what:"inode" ~sector:(sector_of_block t addr)
+        ~sectors:t.layout.Layout.block_sectors;
       Io.sync_write t.io ~sector:(sector_of_block t addr) block;
       Cache.insert t.cache (key_raw addr) ~dirty:false block
   | `Async -> Cache.insert t.cache (key_raw addr) ~dirty:true block
@@ -302,6 +313,8 @@ let write_dir_block t (e : entry) blk entries ~sync_write =
   let block = Dir_block.encode ~block_size:t.layout.Layout.block_size entries in
   let addr = bmap_alloc t e blk in
   if sync_write then begin
+    trace_sync_write t.io ~what:"directory" ~sector:(sector_of_block t addr)
+      ~sectors:t.layout.Layout.block_sectors;
     Io.sync_write t.io ~sector:(sector_of_block t addr) block;
     Cache.insert t.cache (key_data ~inum ~blkno:blk) ~dirty:false block
   end
@@ -733,7 +746,7 @@ let format io config =
           layout;
           cache =
             Cache.create ~capacity_blocks:config.Config.cache_blocks
-              (Io.clock io);
+              ~metrics:(Io.metrics io) ~bus:(Io.bus io) (Io.clock io);
           alloc = Alloc.create layout;
           itable = Hashtbl.create 256;
           root = root_inum;
@@ -785,7 +798,7 @@ let mount ?(config = Config.default) io =
           layout;
           cache =
             Cache.create ~capacity_blocks:config.Config.cache_blocks
-              (Io.clock io);
+              ~metrics:(Io.metrics io) ~bus:(Io.bus io) (Io.clock io);
           alloc = Alloc.create layout;
           itable = Hashtbl.create 256;
           root = root_inum;

@@ -1,0 +1,119 @@
+type sink = {
+  capacity : int option;  (* None = unbounded *)
+  filter : Event.t -> bool;
+  mutable buf : Event.record list;  (* newest first *)
+  mutable buffered : int;
+  mutable dropped : int;
+}
+
+type subscription = { callback : Event.record -> unit }
+
+type t = {
+  now : unit -> int;
+  mutable sinks : sink list;
+  mutable subs : subscription list;
+  mutable spans : (string * int) list;  (* name, start_us; innermost first *)
+}
+
+let create ~now () = { now; sinks = []; subs = []; spans = [] }
+
+(* The hot-path guard: instrumented code checks this before building an
+   event value, so a quiet bus costs one list test. *)
+let enabled t = t.sinks <> [] || t.subs <> []
+
+let push sink r =
+  if sink.filter r.Event.event then begin
+    sink.buf <- r :: sink.buf;
+    sink.buffered <- sink.buffered + 1;
+    match sink.capacity with
+    | Some cap when sink.buffered > cap ->
+        (* Ring behaviour: drop the oldest.  The list is newest-first, so
+           trimming the tail is O(n); do it in amortized batches. *)
+        if sink.buffered >= 2 * cap then begin
+          let rec take n = function
+            | x :: rest when n > 0 -> x :: take (n - 1) rest
+            | _ -> []
+          in
+          sink.dropped <- sink.dropped + (sink.buffered - cap);
+          sink.buf <- take cap sink.buf;
+          sink.buffered <- cap
+        end
+    | Some _ | None -> ()
+  end
+
+let emit t event =
+  if enabled t then begin
+    let r = { Event.at_us = t.now (); event } in
+    List.iter (fun s -> push s r) t.sinks;
+    List.iter (fun s -> s.callback r) t.subs
+  end
+
+let attach ?capacity ?(filter = fun _ -> true) t =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Bus.attach: capacity must be positive"
+  | Some _ | None -> ());
+  let sink = { capacity; filter; buf = []; buffered = 0; dropped = 0 } in
+  t.sinks <- sink :: t.sinks;
+  sink
+
+let detach t sink = t.sinks <- List.filter (fun s -> s != sink) t.sinks
+
+let records sink =
+  let rs = List.rev sink.buf in
+  match sink.capacity with
+  | None -> rs
+  | Some cap ->
+      (* Amortized trimming may leave up to 2*cap buffered; expose exactly
+         the newest [cap]. *)
+      let excess = sink.buffered - cap in
+      if excess <= 0 then rs
+      else begin
+        let rec drop n l = if n = 0 then l else drop (n - 1) (List.tl l) in
+        drop excess rs
+      end
+
+let dropped sink =
+  let over =
+    match sink.capacity with
+    | None -> 0
+    | Some cap -> max 0 (sink.buffered - cap)
+  in
+  sink.dropped + over
+
+let clear sink =
+  sink.buf <- [];
+  sink.buffered <- 0;
+  sink.dropped <- 0
+
+let subscribe t callback =
+  let sub = { callback } in
+  t.subs <- sub :: t.subs;
+  sub
+
+let unsubscribe t sub = t.subs <- List.filter (fun s -> s != sub) t.subs
+
+(* Spans.  The stack is maintained even when the bus is quiet so that a
+   sink attached mid-span still sees correctly-nested depths. *)
+
+let span_depth t = List.length t.spans
+
+let span_begin t name =
+  emit t (Event.Span_begin { name; depth = span_depth t });
+  t.spans <- (name, t.now ()) :: t.spans
+
+let span_end t name =
+  match t.spans with
+  | [] -> invalid_arg (Printf.sprintf "Bus.span_end %S: no open span" name)
+  | (open_name, started) :: rest ->
+      if open_name <> name then
+        invalid_arg
+          (Printf.sprintf "Bus.span_end %S: innermost open span is %S" name
+             open_name);
+      t.spans <- rest;
+      emit t
+        (Event.Span_end
+           { name; depth = span_depth t; elapsed_us = t.now () - started })
+
+let with_span t name f =
+  span_begin t name;
+  Fun.protect ~finally:(fun () -> span_end t name) f

@@ -1,0 +1,59 @@
+(** The structured trace bus.
+
+    One bus lives with each simulated I/O stack (see
+    {!Lfs_disk.Io.bus}); instrumented layers {!emit} typed {!Event.t}
+    values stamped with the simulated clock.  With nothing attached the
+    bus is quiet and costs one list test per instrumentation point — so
+    emission sites guard with {!enabled} before allocating an event.
+
+    Consumers either {!attach} a buffering sink (ring or unbounded) and
+    read {!records} later, or {!subscribe} a callback for streaming. *)
+
+type t
+type sink
+type subscription
+
+val create : now:(unit -> int) -> unit -> t
+(** [now] supplies the simulated-time stamp (microseconds). *)
+
+val enabled : t -> bool
+(** True iff at least one sink or subscriber is attached. *)
+
+val emit : t -> Event.t -> unit
+(** No-op when not {!enabled}. *)
+
+(** {1 Buffering sinks} *)
+
+val attach : ?capacity:int -> ?filter:(Event.t -> bool) -> t -> sink
+(** Unbounded unless [capacity] is given, in which case the sink is a
+    ring keeping the newest [capacity] records ({!dropped} counts the
+    rest).  [filter] selects which events the sink keeps. *)
+
+val detach : t -> sink -> unit
+
+val records : sink -> Event.record list
+(** Buffered records, oldest first. *)
+
+val dropped : sink -> int
+val clear : sink -> unit
+
+(** {1 Streaming subscribers} *)
+
+val subscribe : t -> (Event.record -> unit) -> subscription
+val unsubscribe : t -> subscription -> unit
+
+(** {1 Spans}
+
+    Nestable intervals on simulated time.  The span stack is maintained
+    even while the bus is quiet, so attaching a sink mid-run still
+    observes correct depths. *)
+
+val span_depth : t -> int
+
+val span_begin : t -> string -> unit
+
+val span_end : t -> string -> unit
+(** @raise Invalid_argument if [name] is not the innermost open span. *)
+
+val with_span : t -> string -> (unit -> 'a) -> 'a
+(** [span_begin]/[span_end] around [f], exception-safe. *)

@@ -1,0 +1,119 @@
+type disk_kind = Read | Write
+
+type t =
+  | Disk_request of {
+      kind : disk_kind;
+      sync : bool;
+      sector : int;
+      sectors : int;
+      service_us : int;
+      sequential : bool;
+    }
+  | Cache_hit of { owner : int; blkno : int }
+  | Cache_miss of { owner : int; blkno : int }
+  | Cache_evict of { owner : int; blkno : int }
+  | Cache_writeback of { owner : int; blkno : int }
+  | Segment_write of { seg : int; seq : int; blocks : int; partial : bool }
+  | Cleaner_pass of {
+      victims : int;
+      freed : int;
+      bytes_read : int;
+      bytes_moved : int;
+    }
+  | Checkpoint of { seq : int; region : int (* 0 = A, 1 = B *) }
+  | Rollforward of { seg : int; seq : int; entries : int }
+  | Ffs_sync_write of { what : string; sector : int; sectors : int }
+  | Span_begin of { name : string; depth : int }
+  | Span_end of { name : string; depth : int; elapsed_us : int }
+  | Note of { name : string; fields : (string * Json.t) list }
+
+type record = { at_us : int; event : t }
+
+let name = function
+  | Disk_request _ -> "disk_request"
+  | Cache_hit _ -> "cache_hit"
+  | Cache_miss _ -> "cache_miss"
+  | Cache_evict _ -> "cache_evict"
+  | Cache_writeback _ -> "cache_writeback"
+  | Segment_write _ -> "segment_write"
+  | Cleaner_pass _ -> "cleaner_pass"
+  | Checkpoint _ -> "checkpoint"
+  | Rollforward _ -> "rollforward"
+  | Ffs_sync_write _ -> "ffs_sync_write"
+  | Span_begin _ -> "span_begin"
+  | Span_end _ -> "span_end"
+  | Note _ -> "note"
+
+let fields = function
+  | Disk_request { kind; sync; sector; sectors; service_us; sequential } ->
+      [
+        ("kind", Json.String (match kind with Read -> "read" | Write -> "write"));
+        ("sync", Json.Bool sync);
+        ("sector", Json.Int sector);
+        ("sectors", Json.Int sectors);
+        ("service_us", Json.Int service_us);
+        ("sequential", Json.Bool sequential);
+      ]
+  | Cache_hit { owner; blkno }
+  | Cache_miss { owner; blkno }
+  | Cache_evict { owner; blkno }
+  | Cache_writeback { owner; blkno } ->
+      [ ("owner", Json.Int owner); ("blkno", Json.Int blkno) ]
+  | Segment_write { seg; seq; blocks; partial } ->
+      [
+        ("seg", Json.Int seg);
+        ("seq", Json.Int seq);
+        ("blocks", Json.Int blocks);
+        ("partial", Json.Bool partial);
+      ]
+  | Cleaner_pass { victims; freed; bytes_read; bytes_moved } ->
+      [
+        ("victims", Json.Int victims);
+        ("freed", Json.Int freed);
+        ("bytes_read", Json.Int bytes_read);
+        ("bytes_moved", Json.Int bytes_moved);
+      ]
+  | Checkpoint { seq; region } ->
+      [
+        ("seq", Json.Int seq);
+        ("region", Json.String (if region = 0 then "A" else "B"));
+      ]
+  | Rollforward { seg; seq; entries } ->
+      [ ("seg", Json.Int seg); ("seq", Json.Int seq); ("entries", Json.Int entries) ]
+  | Ffs_sync_write { what; sector; sectors } ->
+      [
+        ("what", Json.String what);
+        ("sector", Json.Int sector);
+        ("sectors", Json.Int sectors);
+      ]
+  | Span_begin { name; depth } ->
+      [ ("name", Json.String name); ("depth", Json.Int depth) ]
+  | Span_end { name; depth; elapsed_us } ->
+      [
+        ("name", Json.String name);
+        ("depth", Json.Int depth);
+        ("elapsed_us", Json.Int elapsed_us);
+      ]
+  | Note { name; fields } -> ("name", Json.String name) :: fields
+
+let to_json { at_us; event } =
+  Json.Obj
+    (("at_us", Json.Int at_us) :: ("event", Json.String (name event))
+    :: fields event)
+
+let to_jsonl records =
+  String.concat "" (List.map (fun r -> Json.to_string (to_json r) ^ "\n") records)
+
+let csv_header = "at_us,event,attrs"
+
+let to_csv_row r =
+  (* The attrs column is the event's JSON fields, compact; double quotes
+     are doubled per RFC 4180. *)
+  let attrs = Json.to_string (Json.Obj (fields r.event)) in
+  let quoted =
+    String.concat "\"\"" (String.split_on_char '"' attrs)
+  in
+  Printf.sprintf "%d,%s,\"%s\"" r.at_us (name r.event) quoted
+
+let to_csv records =
+  String.concat "\n" (csv_header :: List.map to_csv_row records) ^ "\n"

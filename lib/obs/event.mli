@@ -1,0 +1,51 @@
+(** Typed trace events, one constructor per interesting thing the storage
+    stack does.  Events are raw facts; the simulated-time stamp is added
+    by {!Bus.emit} to form a {!record}. *)
+
+type disk_kind = Read | Write
+
+type t =
+  | Disk_request of {
+      kind : disk_kind;
+      sync : bool;
+      sector : int;
+      sectors : int;
+      service_us : int;
+      sequential : bool;
+    }
+  | Cache_hit of { owner : int; blkno : int }
+  | Cache_miss of { owner : int; blkno : int }
+  | Cache_evict of { owner : int; blkno : int }
+  | Cache_writeback of { owner : int; blkno : int }
+  | Segment_write of { seg : int; seq : int; blocks : int; partial : bool }
+  | Cleaner_pass of {
+      victims : int;
+      freed : int;
+      bytes_read : int;
+      bytes_moved : int;
+    }
+  | Checkpoint of { seq : int; region : int  (** 0 = A, 1 = B *) }
+  | Rollforward of { seg : int; seq : int; entries : int }
+  | Ffs_sync_write of { what : string; sector : int; sectors : int }
+  | Span_begin of { name : string; depth : int }
+  | Span_end of { name : string; depth : int; elapsed_us : int }
+  | Note of { name : string; fields : (string * Json.t) list }
+      (** Escape hatch for ad-hoc instrumentation. *)
+
+type record = { at_us : int; event : t }
+
+val name : t -> string
+(** Snake-case tag, also the JSON "event" field. *)
+
+val fields : t -> (string * Json.t) list
+
+val to_json : record -> Json.t
+
+val to_jsonl : record list -> string
+(** One compact JSON object per line. *)
+
+val csv_header : string
+
+val to_csv : record list -> string
+(** [at_us,event,attrs] rows; attrs is the event's JSON fields as one
+    RFC-4180-quoted column. *)

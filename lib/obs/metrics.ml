@@ -1,0 +1,256 @@
+module Table = Lfs_util.Table
+
+(* Log-scale histogram: bucket [k] counts values v with
+   2^(k-1) <= v < 2^k (bucket 0 collects v <= 0).  63 buckets cover the
+   whole non-negative int range. *)
+let nbuckets = 63
+
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+  h_buckets : int array;
+}
+
+type counter = { mutable c : int }
+
+type metric =
+  | Mcounter of counter
+  | Mgauge of (unit -> float)
+  | Mhist of histogram
+
+type t = { tbl : (string, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let kind_name = function
+  | Mcounter _ -> "counter"
+  | Mgauge _ -> "gauge"
+  | Mhist _ -> "histogram"
+
+let register t name metric =
+  match Hashtbl.find_opt t.tbl name with
+  | None ->
+      Hashtbl.replace t.tbl name metric;
+      metric
+  | Some existing ->
+      (* Get-or-create: a remount re-registers the same names against the
+         registry that lives with the I/O stack. *)
+      if kind_name existing <> kind_name metric then
+        invalid_arg
+          (Printf.sprintf "Metrics: %s already registered as a %s" name
+             (kind_name existing));
+      existing
+
+let counter t name =
+  match register t name (Mcounter { c = 0 }) with
+  | Mcounter c -> c
+  | _ -> assert false
+
+let incr c = c.c <- c.c + 1
+let add c n = c.c <- c.c + n
+let value c = c.c
+let reset_counter c = c.c <- 0
+
+let gauge t name f =
+  (* Gauges are callbacks evaluated at snapshot time; re-registration
+     replaces the closure (a fresh component now owns the name). *)
+  Hashtbl.replace t.tbl name (Mgauge f)
+
+let fresh_histogram () =
+  { h_count = 0; h_sum = 0; h_min = max_int; h_max = min_int; h_buckets = Array.make nbuckets 0 }
+
+let histogram t name =
+  match register t name (Mhist (fresh_histogram ())) with
+  | Mhist h -> h
+  | _ -> assert false
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+    min (nbuckets - 1) (bits 0 v)
+  end
+
+let bucket_upper k = if k = 0 then 0 else (1 lsl k) - 1
+
+let observe h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let k = bucket_of v in
+  h.h_buckets.(k) <- h.h_buckets.(k) + 1
+
+let reset_histogram h =
+  h.h_count <- 0;
+  h.h_sum <- 0;
+  h.h_min <- max_int;
+  h.h_max <- min_int;
+  Array.fill h.h_buckets 0 nbuckets 0
+
+(* Snapshots *)
+
+type hist_snapshot = {
+  count : int;
+  sum : int;
+  min_v : int;  (** meaningless when [count = 0] *)
+  max_v : int;
+  buckets : (int * int) list;  (** (inclusive upper bound, count), non-empty buckets only *)
+}
+
+type value_snapshot =
+  | Counter of int
+  | Gauge of float
+  | Histogram of hist_snapshot
+
+type snapshot = (string * value_snapshot) list
+
+let snapshot_histogram h =
+  {
+    count = h.h_count;
+    sum = h.h_sum;
+    min_v = h.h_min;
+    max_v = h.h_max;
+    buckets =
+      List.filter_map
+        (fun k ->
+          if h.h_buckets.(k) > 0 then Some (bucket_upper k, h.h_buckets.(k))
+          else None)
+        (List.init nbuckets Fun.id);
+  }
+
+let snapshot t =
+  Hashtbl.fold
+    (fun name metric acc ->
+      let v =
+        match metric with
+        | Mcounter c -> Counter c.c
+        | Mgauge f -> Gauge (f ())
+        | Mhist h -> Histogram (snapshot_histogram h)
+      in
+      (name, v) :: acc)
+    t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let reset t =
+  Hashtbl.iter
+    (fun _ metric ->
+      match metric with
+      | Mcounter c -> reset_counter c
+      | Mgauge _ -> ()
+      | Mhist h -> reset_histogram h)
+    t.tbl
+
+let reset_prefix t prefix =
+  Hashtbl.iter
+    (fun name metric ->
+      if String.starts_with ~prefix name then
+        match metric with
+        | Mcounter c -> reset_counter c
+        | Mgauge _ -> ()
+        | Mhist h -> reset_histogram h)
+    t.tbl
+
+(* [diff ~before ~after]: counters and histograms subtract; gauges are
+   point-in-time so the later reading wins.  Metrics absent from [before]
+   pass through unchanged. *)
+let diff ~before ~after =
+  List.map
+    (fun (name, v) ->
+      match (v, List.assoc_opt name before) with
+      | Counter a, Some (Counter b) -> (name, Counter (a - b))
+      | Histogram a, Some (Histogram b) ->
+          let buckets =
+            List.filter_map
+              (fun (ub, n) ->
+                let n' =
+                  n - Option.value ~default:0 (List.assoc_opt ub b.buckets)
+                in
+                if n' > 0 then Some (ub, n') else None)
+              a.buckets
+          in
+          ( name,
+            Histogram
+              {
+                count = a.count - b.count;
+                sum = a.sum - b.sum;
+                min_v = a.min_v;
+                max_v = a.max_v;
+                buckets;
+              } )
+      | v, _ -> (name, v))
+    after
+
+let find snap name = List.assoc_opt name snap
+
+let counter_value snap name =
+  match find snap name with Some (Counter n) -> Some n | _ -> None
+
+(* Approximate quantile from the log buckets: the upper bound of the
+   bucket where the cumulative count crosses q. *)
+let quantile hs q =
+  if hs.count = 0 then None
+  else begin
+    let target = int_of_float (ceil (q *. float_of_int hs.count)) in
+    let target = max 1 (min hs.count target) in
+    let rec walk seen = function
+      | [] -> Some hs.max_v
+      | (ub, n) :: rest ->
+          if seen + n >= target then Some (min ub hs.max_v) else walk (seen + n) rest
+    in
+    walk 0 hs.buckets
+  end
+
+let mean hs =
+  if hs.count = 0 then 0.0 else float_of_int hs.sum /. float_of_int hs.count
+
+(* Rendering *)
+
+let pp_value = function
+  | Counter n -> string_of_int n
+  | Gauge g -> Table.fmt_float ~decimals:2 g
+  | Histogram hs ->
+      if hs.count = 0 then "count=0"
+      else
+        Printf.sprintf "count=%d mean=%.1f min=%d p50<=%d p99<=%d max=%d"
+          hs.count (mean hs) hs.min_v
+          (Option.value ~default:0 (quantile hs 0.5))
+          (Option.value ~default:0 (quantile hs 0.99))
+          hs.max_v
+
+let render ?prefix snap =
+  let rows =
+    List.filter_map
+      (fun (name, v) ->
+        let keep =
+          match prefix with
+          | None -> true
+          | Some p -> String.starts_with ~prefix:p name
+        in
+        if keep then Some [ name; pp_value v ] else None)
+      snap
+  in
+  Table.render ~headers:[ "metric"; "value" ] rows
+
+let json_of_value = function
+  | Counter n -> Json.Int n
+  | Gauge g -> Json.Float g
+  | Histogram hs ->
+      Json.Obj
+        [
+          ("count", Json.Int hs.count);
+          ("sum", Json.Int hs.sum);
+          ("min", if hs.count = 0 then Json.Null else Json.Int hs.min_v);
+          ("max", if hs.count = 0 then Json.Null else Json.Int hs.max_v);
+          ( "buckets",
+            Json.List
+              (List.map
+                 (fun (ub, n) ->
+                   Json.Obj [ ("le", Json.Int ub); ("count", Json.Int n) ])
+                 hs.buckets) );
+        ]
+
+let to_json snap =
+  Json.Obj (List.map (fun (name, v) -> (name, json_of_value v)) snap)

@@ -15,6 +15,9 @@ type point = {
           cleaner had to rewrite — "full segments yield almost no free
           space" *)
   segments_cleaned : int;
+  write_cost : float;
+      (** the file system's cumulative write cost (§3, Figure 5's y-axis
+          companion) after the pass *)
 }
 
 (* Fill the log with [file_size]-byte files until roughly [fill_fraction]
@@ -91,6 +94,7 @@ let run ?(file_size = 1024) ?(fill_fraction = 0.7) ?(seed = 23)
     clean_kb_per_sec = rate clean_bytes;
     net_kb_per_sec = rate (max 0 (clean_bytes - moved));
     segments_cleaned = freed;
+    write_cost = Lfs_core.Cleaner.write_cost fs;
   }
 
 (** Sweep Figure 5's x-axis.  Each point gets a fresh file system. *)

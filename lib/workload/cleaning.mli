@@ -15,6 +15,8 @@ type point = {
           cleaner had to rewrite — "full segments yield almost no free
           space" *)
   segments_cleaned : int;
+  write_cost : float;
+      (** cumulative write cost (§3) after the pass *)
 }
 
 val run :

@@ -40,12 +40,24 @@ let sync (Fs_intf.Instance ((module F), fs)) = F.sync fs
 let flush_caches (Fs_intf.Instance ((module F), fs)) = F.flush_caches fs
 
 let now_us inst = Lfs_disk.Io.now_us (io inst)
+let metrics inst = Lfs_disk.Io.metrics (io inst)
+let bus inst = Lfs_disk.Io.bus (io inst)
 
 (** Simulated time consumed by [f], in microseconds. *)
 let timed inst f =
   let t0 = now_us inst in
   f ();
   now_us inst - t0
+
+(** Run [f] and return its simulated duration together with the registry
+    delta it caused — the per-phase metric table of a report. *)
+let observed inst f =
+  let m = metrics inst in
+  let before = Lfs_obs.Metrics.snapshot m in
+  let t0 = now_us inst in
+  f ();
+  let elapsed = now_us inst - t0 in
+  (elapsed, Lfs_obs.Metrics.diff ~before ~after:(Lfs_obs.Metrics.snapshot m))
 
 (** Deterministic file contents. *)
 let content ~seed len =

@@ -23,8 +23,20 @@ val flush_caches : Lfs_vfs.Fs_intf.instance -> unit
 
 val now_us : Lfs_vfs.Fs_intf.instance -> int
 
+val metrics : Lfs_vfs.Fs_intf.instance -> Lfs_obs.Metrics.t
+(** The instance's I/O-stack registry. *)
+
+val bus : Lfs_vfs.Fs_intf.instance -> Lfs_obs.Bus.t
+(** The instance's trace bus. *)
+
 val timed : Lfs_vfs.Fs_intf.instance -> (unit -> unit) -> int
 (** Simulated microseconds consumed by the thunk. *)
+
+val observed :
+  Lfs_vfs.Fs_intf.instance ->
+  (unit -> unit) ->
+  int * Lfs_obs.Metrics.snapshot
+(** [timed], plus the registry delta the thunk caused. *)
 
 val content : seed:int -> int -> bytes
 (** Deterministic pseudo-random file contents. *)

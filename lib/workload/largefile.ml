@@ -16,6 +16,8 @@ type result = {
   rand_write_kbs : float;
   rand_read_kbs : float;
   seq_reread_kbs : float;
+  phases : (string * Lfs_obs.Metrics.snapshot) list;
+      (** registry delta per measured phase, in phase order *)
 }
 
 let request = 8192
@@ -29,8 +31,8 @@ let run ?(file_mb = 100) ?(seed = 17) inst =
   let size = file_mb * 1024 * 1024 in
   let nreq = size / request in
   Driver.create inst path;
-  let seq_write_us =
-    Driver.timed inst (fun () ->
+  let seq_write_us, seq_write_m =
+    Driver.observed inst (fun () ->
         for i = 0 to nreq - 1 do
           Driver.write inst path ~off:(i * request)
             (Driver.content ~seed:i request)
@@ -38,16 +40,16 @@ let run ?(file_mb = 100) ?(seed = 17) inst =
         Driver.sync inst)
   in
   Driver.flush_caches inst;
-  let seq_read_us =
-    Driver.timed inst (fun () ->
+  let seq_read_us, seq_read_m =
+    Driver.observed inst (fun () ->
         for i = 0 to nreq - 1 do
           ignore (Driver.read inst path ~off:(i * request) ~len:request)
         done)
   in
   Driver.flush_caches inst;
   let rng = Lfs_util.Rng.create seed in
-  let rand_write_us =
-    Driver.timed inst (fun () ->
+  let rand_write_us, rand_write_m =
+    Driver.observed inst (fun () ->
         for i = 0 to nreq - 1 do
           let off = Lfs_util.Rng.int rng nreq * request in
           Driver.write inst path ~off (Driver.content ~seed:(1000 + i) request)
@@ -55,16 +57,16 @@ let run ?(file_mb = 100) ?(seed = 17) inst =
         Driver.sync inst)
   in
   Driver.flush_caches inst;
-  let rand_read_us =
-    Driver.timed inst (fun () ->
+  let rand_read_us, rand_read_m =
+    Driver.observed inst (fun () ->
         for _ = 0 to nreq - 1 do
           let off = Lfs_util.Rng.int rng nreq * request in
           ignore (Driver.read inst path ~off ~len:request)
         done)
   in
   Driver.flush_caches inst;
-  let seq_reread_us =
-    Driver.timed inst (fun () ->
+  let seq_reread_us, seq_reread_m =
+    Driver.observed inst (fun () ->
         for i = 0 to nreq - 1 do
           ignore (Driver.read inst path ~off:(i * request) ~len:request)
         done)
@@ -77,4 +79,12 @@ let run ?(file_mb = 100) ?(seed = 17) inst =
     rand_write_kbs = kbs size rand_write_us;
     rand_read_kbs = kbs size rand_read_us;
     seq_reread_kbs = kbs size seq_reread_us;
+    phases =
+      [
+        ("seq_write", seq_write_m);
+        ("seq_read", seq_read_m);
+        ("rand_write", rand_write_m);
+        ("rand_read", rand_read_m);
+        ("seq_reread", seq_reread_m);
+      ];
   }

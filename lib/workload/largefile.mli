@@ -15,6 +15,8 @@ type result = {
   rand_write_kbs : float;
   rand_read_kbs : float;
   seq_reread_kbs : float;
+  phases : (string * Lfs_obs.Metrics.snapshot) list;
+      (** registry delta per measured phase, in phase order *)
 }
 
 val request : int

@@ -12,6 +12,45 @@ let bar value ~max ~width =
 
 let f0 = Table.fmt_float ~decimals:0
 
+(* Per-phase metric tables: one row per selected instrument, one column
+   per phase.  Gauges and empty histograms are elided — the interesting
+   quantities across a benchmark phase are the deltas. *)
+let phase_metrics ~label ?(prefixes = [ "disk."; "cache."; "lfs." ])
+    (phases : (string * Lfs_obs.Metrics.snapshot) list) =
+  let interesting name =
+    List.exists (fun p -> String.starts_with ~prefix:p name) prefixes
+  in
+  let names =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun (_, snap) ->
+           List.filter_map
+             (fun (name, v) ->
+               match v with
+               | Lfs_obs.Metrics.Counter n when n <> 0 && interesting name ->
+                   Some name
+               | _ -> None)
+             snap)
+         phases)
+  in
+  if names = [] then ""
+  else begin
+    let cell snap name =
+      match Lfs_obs.Metrics.find snap name with
+      | Some (Lfs_obs.Metrics.Counter n) -> string_of_int n
+      | _ -> "0"
+    in
+    let rows =
+      List.map
+        (fun name -> name :: List.map (fun (_, snap) -> cell snap name) phases)
+        names
+    in
+    Printf.sprintf "%s metrics per phase:\n%s" label
+      (Table.render
+         ~headers:("metric" :: List.map fst phases)
+         rows)
+  end
+
 let fig12 (results : Creation_trace.summary list) =
   let buf = Buffer.create 512 in
   Buffer.add_string buf
@@ -80,6 +119,14 @@ let fig3 (results : Smallfile.result list) =
         (Table.render ~headers:[ "system"; "create/s"; "read/s"; "delete/s" ] rows);
       Buffer.add_char buf '\n')
     groups;
+  List.iter
+    (fun (r : Smallfile.result) ->
+      match phase_metrics ~label:r.Smallfile.label r.Smallfile.phases with
+      | "" -> ()
+      | tbl ->
+          Buffer.add_string buf tbl;
+          Buffer.add_char buf '\n')
+    results;
   Buffer.contents buf
 
 let fig4 (results : Largefile.result list) =
@@ -104,6 +151,14 @@ let fig4 (results : Largefile.result list) =
        ~headers:
          [ "system"; "seq write"; "seq read"; "rand write"; "rand read"; "seq reread" ]
        rows);
+  List.iter
+    (fun (r : Largefile.result) ->
+      match phase_metrics ~label:r.Largefile.label r.Largefile.phases with
+      | "" -> ()
+      | tbl ->
+          Buffer.add_char buf '\n';
+          Buffer.add_string buf tbl)
+    results;
   Buffer.contents buf
 
 let fig5 (points : Cleaning.point list) =
@@ -125,14 +180,19 @@ let fig5 (points : Cleaning.point list) =
           f0 p.Cleaning.clean_kb_per_sec;
           f0 p.Cleaning.net_kb_per_sec;
           string_of_int p.Cleaning.segments_cleaned;
+          Table.fmt_float ~decimals:2 p.Cleaning.write_cost;
           bar p.Cleaning.clean_kb_per_sec ~max:maxrate ~width:40;
         ])
       points
   in
   Buffer.add_string buf
     (Table.render
-       ~align:[ Table.Right; Table.Right; Table.Right; Table.Right; Table.Left ]
-       ~headers:[ "utilization"; "KB/s"; "net KB/s"; "segments"; "" ]
+       ~align:
+         [
+           Table.Right; Table.Right; Table.Right; Table.Right; Table.Right;
+           Table.Left;
+         ]
+       ~headers:[ "utilization"; "KB/s"; "net KB/s"; "segments"; "cost"; "" ]
        rows);
   Buffer.contents buf
 

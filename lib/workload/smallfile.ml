@@ -12,6 +12,8 @@ type result = {
   create_per_sec : float;
   read_per_sec : float;
   delete_per_sec : float;
+  phases : (string * Lfs_obs.Metrics.snapshot) list;
+      (** registry delta per measured phase, in phase order *)
 }
 
 let files_per_dir = 100
@@ -28,8 +30,8 @@ let run ?(nfiles = 10_000) ?(file_size = 1024) inst =
   done;
   (* Directory creation is setup, not part of the measured phases. *)
   Driver.sync inst;
-  let create_us =
-    Driver.timed inst (fun () ->
+  let create_us, create_m =
+    Driver.observed inst (fun () ->
         for i = 0 to nfiles - 1 do
           let path = path_of i in
           Driver.create inst path;
@@ -37,14 +39,14 @@ let run ?(nfiles = 10_000) ?(file_size = 1024) inst =
         done)
   in
   Driver.flush_caches inst;
-  let read_us =
-    Driver.timed inst (fun () ->
+  let read_us, read_m =
+    Driver.observed inst (fun () ->
         for i = 0 to nfiles - 1 do
           ignore (Driver.read inst (path_of i) ~off:0 ~len:file_size)
         done)
   in
-  let delete_us =
-    Driver.timed inst (fun () ->
+  let delete_us, delete_m =
+    Driver.observed inst (fun () ->
         for i = 0 to nfiles - 1 do
           Driver.delete inst (path_of i)
         done)
@@ -56,4 +58,5 @@ let run ?(nfiles = 10_000) ?(file_size = 1024) inst =
     create_per_sec = per_sec nfiles create_us;
     read_per_sec = per_sec nfiles read_us;
     delete_per_sec = per_sec nfiles delete_us;
+    phases = [ ("create", create_m); ("read", read_m); ("delete", delete_m) ];
   }

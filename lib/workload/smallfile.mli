@@ -12,6 +12,8 @@ type result = {
   create_per_sec : float;
   read_per_sec : float;
   delete_per_sec : float;
+  phases : (string * Lfs_obs.Metrics.snapshot) list;
+      (** registry delta per measured phase ([create]/[read]/[delete]) *)
 }
 
 val files_per_dir : int

@@ -6,6 +6,7 @@ let () =
       ("vfs", Test_vfs.suite);
       ("codecs", Test_codecs.suite);
       ("disk", Test_disk.suite);
+      ("obs", Test_obs.suite);
       ("lfs-basic", Test_lfs_basic.suite);
       ("lfs-internals", Test_lfs_internals.suite);
       ("lfs-recovery", Test_lfs_recovery.suite);
