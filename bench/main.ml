@@ -606,6 +606,140 @@ let run_trace () =
         (Lfs_util.Table.fmt_ratio (lfs.W.Trace.ops_per_sec /. ffs.W.Trace.ops_per_sec))
   | _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Clustered reads + sequential read-ahead                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Cold sequential re-read of one large file with 8 KB requests, with
+   the read optimizations disabled and enabled.  The interesting numbers
+   are disk read *requests* (clustering and read-ahead turn many
+   single-block reads into few multi-block ones) and simulated read
+   bandwidth (per-request CPU and missed-rotation costs disappear when
+   the data arrives in large transfers). *)
+let run_readahead () =
+  header "Clustered reads + read-ahead: cold sequential re-read";
+  let file_mb = if !quick then 4 else 32 in
+  let disk_mb = if !quick then 64 else 128 in
+  let request = 8192 in
+  let size = file_mb * 1024 * 1024 in
+  let nreq = size / request in
+  let measure inst =
+    let path = "/bigfile" in
+    W.Driver.create inst path;
+    for i = 0 to nreq - 1 do
+      W.Driver.write inst path ~off:(i * request)
+        (W.Driver.content ~seed:i request)
+    done;
+    W.Driver.sync inst;
+    W.Driver.flush_caches inst;
+    let io = W.Driver.io inst in
+    let disk = Lfs_disk.Io.disk io in
+    let m = Lfs_disk.Io.metrics io in
+    let cval name = Lfs_obs.Metrics.value (Lfs_obs.Metrics.counter m name) in
+    let snap () =
+      let s = Lfs_disk.Disk.stats disk in
+      ( s.Lfs_disk.Disk.reads,
+        s.Lfs_disk.Disk.sectors_read,
+        cval "io.readahead.issued",
+        cval "io.readahead.hit",
+        cval "io.readahead.wasted",
+        cval "io.clustered_reads",
+        cval "io.clustered_read_blocks" )
+    in
+    let r0, s0, i0, h0, w0, cr0, cb0 = snap () in
+    let t0 = Lfs_disk.Io.now_us io in
+    for i = 0 to nreq - 1 do
+      ignore (W.Driver.read inst path ~off:(i * request) ~len:request)
+    done;
+    let elapsed_us = Lfs_disk.Io.now_us io - t0 in
+    let r1, s1, i1, h1, w1, cr1, cb1 = snap () in
+    ( r1 - r0,
+      s1 - s0,
+      float_of_int size /. 1024.0 /. (float_of_int elapsed_us /. 1e6),
+      i1 - i0,
+      h1 - h0,
+      w1 - w0,
+      cr1 - cr0,
+      cb1 - cb0 )
+  in
+  let lfs_off =
+    {
+      Config.default with
+      Config.read_clustering = false;
+      readahead_blocks = 0;
+    }
+  in
+  let ffs_off =
+    {
+      Lfs_ffs.Config.default with
+      Lfs_ffs.Config.read_clustering = false;
+      readahead_blocks = 0;
+    }
+  in
+  let systems =
+    [
+      ( "LFS",
+        measure (W.Setup.lfs ~disk_mb ~config:lfs_off ()),
+        measure (W.Setup.lfs ~disk_mb ()) );
+      ( "FFS",
+        measure (W.Setup.ffs ~disk_mb ~config:ffs_off ()),
+        measure (W.Setup.ffs ~disk_mb ()) );
+    ]
+  in
+  let entries =
+    List.map
+      (fun ( label,
+             (b_reads, b_sectors, b_kbs, _, _, _, _, _),
+             (c_reads, c_sectors, c_kbs, issued, hit, wasted, creq, cblocks) ) ->
+        J.Obj
+          [
+            ("label", J.String label);
+            ("file_mb", J.Int file_mb);
+            ("base_reads", J.Int b_reads);
+            ("base_sectors", J.Int b_sectors);
+            ("base_kbs", J.Float b_kbs);
+            ("clustered_reads", J.Int c_reads);
+            ("clustered_sectors", J.Int c_sectors);
+            ("clustered_kbs", J.Float c_kbs);
+            ( "read_ratio",
+              J.Float (float_of_int b_reads /. float_of_int (max 1 c_reads)) );
+            ("bandwidth_ratio", J.Float (c_kbs /. b_kbs));
+            ("readahead_issued", J.Int issued);
+            ("readahead_hit", J.Int hit);
+            ("readahead_wasted", J.Int wasted);
+            ("clustered_read_requests", J.Int creq);
+            ("clustered_read_blocks", J.Int cblocks);
+          ])
+      systems
+  in
+  add_figure "readahead" (J.List entries);
+  let rows =
+    List.map
+      (fun ( label,
+             (b_reads, _, b_kbs, _, _, _, _, _),
+             (c_reads, _, c_kbs, issued, hit, wasted, _, _) ) ->
+        [
+          label;
+          string_of_int b_reads;
+          string_of_int c_reads;
+          Lfs_util.Table.fmt_ratio
+            (float_of_int b_reads /. float_of_int (max 1 c_reads));
+          Lfs_util.Table.fmt_float ~decimals:0 b_kbs;
+          Lfs_util.Table.fmt_float ~decimals:0 c_kbs;
+          Lfs_util.Table.fmt_ratio (c_kbs /. b_kbs);
+          Printf.sprintf "%d/%d/%d" issued hit wasted;
+        ])
+      systems
+  in
+  print_string
+    (Lfs_util.Table.render
+       ~headers:
+         [
+           "system"; "reads (off)"; "reads (on)"; "fewer"; "KB/s (off)";
+           "KB/s (on)"; "speedup"; "ra issued/hit/wasted";
+         ]
+       rows)
+
 let run_ablation_recovery () =
   header "Ablation: crash-recovery time - LFS checkpoint+roll-forward vs\n\
           FFS full-disk scan (fsck)";
@@ -712,12 +846,13 @@ let experiments =
     ("scaling", run_scaling);
     ("cache", run_ablation_cache);
     ("trace", run_trace);
+    ("readahead", run_readahead);
   ]
 
 let default_order =
   [
-    "fig12"; "fig3"; "fig4"; "fig5"; "segsize"; "policy"; "util"; "checkpoint";
-    "recovery"; "scaling"; "cache"; "trace";
+    "fig12"; "fig3"; "fig4"; "fig5"; "readahead"; "segsize"; "policy"; "util";
+    "checkpoint"; "recovery"; "scaling"; "cache"; "trace";
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -797,7 +932,28 @@ let run_check_json file =
       "seq_write_kbs"; "seq_read_kbs"; "rand_write_kbs"; "rand_read_kbs";
       "seq_reread_kbs";
     ];
-  check_entries "fig5" [ "utilization"; "clean_kb_per_sec"; "write_cost" ]
+  check_entries "fig5" [ "utilization"; "clean_kb_per_sec"; "write_cost" ];
+  check_entries "readahead"
+    [
+      "base_reads"; "base_kbs"; "clustered_reads"; "clustered_kbs";
+      "read_ratio"; "bandwidth_ratio"; "readahead_issued"; "readahead_hit";
+      "readahead_wasted";
+    ];
+  (* The read-ahead accounting invariant: every prefetched block is
+     eventually either consumed (hit) or written off (wasted), never
+     both, so the served total cannot exceed what was issued. *)
+  match List.assoc_opt "readahead" figs with
+  | Some (J.List entries) ->
+      List.iter
+        (fun entry ->
+          let issued = num entry "readahead_issued" in
+          let hit = num entry "readahead_hit" in
+          let wasted = num entry "readahead_wasted" in
+          if hit +. wasted > issued then
+            fail "readahead: hit (%g) + wasted (%g) > issued (%g)" hit wasted
+              issued)
+        entries
+  | Some _ | None -> ()
 
 let usage () =
   Printf.eprintf

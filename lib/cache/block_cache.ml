@@ -77,27 +77,29 @@ let dirty t key =
 
 (* Reclaim clean entries from the LRU side while over capacity.  Dirty
    entries are skipped: they are the write buffer and only write-back may
-   release them. *)
-let evict_clean t =
+   release them.  [keep] protects the entry {!insert} just added — without
+   it, a cache whose other entries are all dirty would evict the newcomer
+   itself.  Sweeping from the cold end stops as soon as the excess is
+   reclaimed, so the common insert pays O(1) instead of materializing the
+   whole LRU list. *)
+let evict_clean_keeping keep t =
   if Lru.length t.entries > t.capacity then begin
     let excess = ref (Lru.length t.entries - t.capacity) in
-    let victims =
-      List.filter_map
-        (fun (k, e) ->
-          if !excess > 0 && not e.is_dirty then begin
-            decr excess;
-            Some k
-          end
-          else None)
-        (List.rev (Lru.to_list t.entries))
-    in
-    List.iter
-      (fun k ->
-        ignore (Lru.remove t.entries k);
-        Metrics.incr t.c_evictions;
-        emit t (fun () -> Event.Cache_evict { owner = k.owner; blkno = k.blkno }))
-      victims
+    Lru.sweep_lru
+      (fun k e ->
+        if !excess <= 0 then Lru.Stop
+        else if e.is_dirty || keep = Some k then Lru.Keep
+        else begin
+          decr excess;
+          Metrics.incr t.c_evictions;
+          emit t (fun () ->
+              Event.Cache_evict { owner = k.owner; blkno = k.blkno });
+          Lru.Remove
+        end)
+      t.entries
   end
+
+let evict_clean t = evict_clean_keeping None t
 
 let insert t key ~dirty data =
   (match Lru.peek t.entries key with
@@ -106,7 +108,7 @@ let insert t key ~dirty data =
   let e = { data; is_dirty = dirty; dirty_since_us = Clock.now_us t.clock } in
   if dirty then t.ndirty <- t.ndirty + 1;
   ignore (Lru.add t.entries key e);
-  evict_clean t
+  evict_clean_keeping (Some key) t
 
 let mark_dirty t key =
   match Lru.peek t.entries key with
@@ -136,10 +138,9 @@ let remove t key =
   | Some e -> if e.is_dirty then t.ndirty <- t.ndirty - 1
 
 let fold_dirty f t init =
-  List.fold_left
-    (fun acc (k, e) -> if e.is_dirty then f k e.data acc else acc)
-    init
-    (List.rev (Lru.to_list t.entries))
+  Lru.fold_lru
+    (fun k e acc -> if e.is_dirty then f k e.data acc else acc)
+    t.entries init
 
 let dirty_keys t = List.rev (fold_dirty (fun k _ acc -> k :: acc) t [])
 
@@ -156,12 +157,9 @@ let oldest_dirty_age_us t =
 let over_capacity t = t.ndirty > t.capacity
 
 let drop_clean t =
-  let clean =
-    Lru.fold
-      (fun k e acc -> if e.is_dirty then acc else k :: acc)
-      t.entries []
-  in
-  List.iter (fun k -> ignore (Lru.remove t.entries k)) clean
+  Lru.sweep_lru
+    (fun _ e -> if e.is_dirty then Lru.Keep else Lru.Remove)
+    t.entries
 
 let clear t =
   Lru.clear t.entries;

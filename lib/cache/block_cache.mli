@@ -50,7 +50,8 @@ val dirty : t -> key -> bool
 
 val insert : t -> key -> dirty:bool -> bytes -> unit
 (** Insert or replace a block, then reclaim clean LRU entries while over
-    capacity. *)
+    capacity.  The just-inserted block is never chosen as a victim, even
+    when every other entry is dirty. *)
 
 val mark_dirty : t -> key -> unit
 (** @raise Not_found if the key is absent. *)

@@ -21,22 +21,45 @@ let copy_from_active (st : State.t) addr =
   let bs = st.layout.Layout.block_size in
   Bytes.sub st.seg.buf ((addr - first) * bs) bs
 
+(* Fetch one block from the active segment or the disk and cache it
+   clean.  The caller has already missed in the cache. *)
+let fetch_at (st : State.t) key addr =
+  let data =
+    if in_active_segment st addr then copy_from_active st addr
+    else
+      Io.sync_read st.io
+        ~sector:(sector_of_block st addr)
+        ~count:st.layout.Layout.block_sectors
+  in
+  Cache.insert st.cache key ~dirty:false data;
+  data
+
 let read_at (st : State.t) key addr =
   if addr = Layout.null_addr then
     invalid_arg "Block_io.read: null block address";
   match Cache.find st.cache key with
   | Some data -> data
-  | None ->
-      let data =
-        if in_active_segment st addr then copy_from_active st addr
-        else
-          Io.sync_read st.io
-            ~sector:(sector_of_block st addr)
-            ~count:st.layout.Layout.block_sectors
-      in
-      Cache.insert st.cache key ~dirty:false data;
-      data
+  | None -> fetch_at st key addr
 
 let read_raw st addr = read_at st (key_raw addr) addr
 
 let read_file_block st ~inum ~blkno ~addr = read_at st (key_data ~inum ~blkno) addr
+
+let fetch_file_block st ~inum ~blkno ~addr =
+  fetch_at st (key_data ~inum ~blkno) addr
+
+let read_run (st : State.t) ~inum ~first_blkno ~addr ~n =
+  let bs = st.layout.Layout.block_size in
+  let data =
+    Io.sync_read st.io
+      ~sector:(sector_of_block st addr)
+      ~count:(n * st.layout.Layout.block_sectors)
+  in
+  if n > 1 then Io.note_clustered_read st.io ~blocks:n;
+  for i = 0 to n - 1 do
+    Cache.insert st.cache
+      (key_data ~inum ~blkno:(first_blkno + i))
+      ~dirty:false
+      (Bytes.sub data (i * bs) bs)
+  done;
+  data

@@ -9,12 +9,15 @@ let select_victims ?live_budget (st : State.t) ~batch =
   let usage = st.usage in
   let now = Io.now_us st.io in
   let candidates = ref [] in
-  for seg = 0 to Seg_usage.nsegments usage - 1 do
-    if
-      Seg_usage.state usage seg = Seg_usage.Dirty
-      && Seg_usage.utilization usage seg < st.config.Config.max_live_fraction
-    then candidates := seg :: !candidates
-  done;
+  (* The dirty set is maintained by [Seg_usage.set_state]: no full
+     segment-table sweep per cleaning pass.  Iteration order is
+     arbitrary; the (score, seg) sort below makes selection
+     deterministic. *)
+  Seg_usage.iter_dirty
+    (fun seg ->
+      if Seg_usage.utilization usage seg < st.config.Config.max_live_fraction
+      then candidates := seg :: !candidates)
+    usage;
   let score seg =
     match st.policy with
     | Config.Greedy -> float_of_int (Seg_usage.live_bytes usage seg)

@@ -12,6 +12,8 @@ type t = {
   segment_size : int;
   max_files : int;
   cache_blocks : int;
+  read_clustering : bool;
+  readahead_blocks : int;
   writeback_age_us : int;
   checkpoint_interval_us : int;
   clean_threshold_segments : int;
@@ -29,6 +31,8 @@ let default =
     segment_size = 1 lsl 20;
     max_files = 65536;
     cache_blocks = 4096;
+    read_clustering = true;
+    readahead_blocks = 32;
     writeback_age_us = 30_000_000;
     checkpoint_interval_us = 30_000_000;
     clean_threshold_segments = 8;
@@ -47,6 +51,7 @@ let small =
     segment_size = 16 * 1024;
     max_files = 1024;
     cache_blocks = 64;
+    readahead_blocks = 8;
     clean_threshold_segments = 8;
     clean_target_segments = 12;
     reserve_segments = 4;
@@ -63,6 +68,8 @@ let validate t =
     err "a segment must hold at least a summary block and one data block"
   else if t.max_files < 2 then err "max_files must be at least 2"
   else if t.cache_blocks <= 0 then err "cache_blocks must be positive"
+  else if t.readahead_blocks < 0 then
+    err "readahead_blocks must be non-negative (0 disables read-ahead)"
   else if t.clean_target_segments < t.clean_threshold_segments then
     err "clean_target_segments below clean_threshold_segments"
   else if t.reserve_segments < 1 then err "reserve_segments must be >= 1"

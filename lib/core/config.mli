@@ -20,6 +20,12 @@ type t = {
   max_files : int;  (** inode-map capacity *)
   (* runtime *)
   cache_blocks : int;  (** file-cache capacity in blocks *)
+  read_clustering : bool;
+      (** coalesce physically contiguous blocks of a read request into
+          one multi-block disk transfer *)
+  readahead_blocks : int;
+      (** sequential read-ahead window ceiling in blocks; 0 disables
+          prefetching *)
   writeback_age_us : int;  (** dirty-block age write-back trigger (30 s) *)
   checkpoint_interval_us : int;  (** periodic checkpoint spacing (30 s) *)
   clean_threshold_segments : int;

@@ -243,5 +243,6 @@ let delete (st : State.t) inum =
   (match Imap.location st.imap inum with
   | Some (addr, _slot) -> release_block st addr ~bytes:Layout.inode_bytes
   | None -> ());
+  Lfs_cache.Readahead.forget st.readahead ~owner:inum;
   Hashtbl.remove st.itable inum;
   Imap.free st.imap inum

@@ -9,6 +9,7 @@ type t = {
   mtime : int array;
   states : seg_state array;
   dirty : Bitset.t;  (* per usage block *)
+  dirty_set : (int, unit) Hashtbl.t;  (* segments currently in state Dirty *)
   entries_per_block : int;
   mutable nclean : int;
 }
@@ -21,6 +22,7 @@ let create layout =
     mtime = Array.make n 0;
     states = Array.make n Clean;
     dirty = Bitset.create layout.Layout.n_usage_blocks;
+    dirty_set = Hashtbl.create 64;
     entries_per_block = Layout.usage_entries_per_block layout;
     nclean = n;
   }
@@ -43,11 +45,15 @@ let set_state t seg s =
   if was <> s then begin
     if was = Clean then t.nclean <- t.nclean - 1;
     if s = Clean then t.nclean <- t.nclean + 1;
+    if was = Dirty then Hashtbl.remove t.dirty_set seg;
+    if s = Dirty then Hashtbl.replace t.dirty_set seg ();
     t.states.(seg) <- s;
     touch t seg
   end
 
 let nclean t = t.nclean
+let ndirty t = Hashtbl.length t.dirty_set
+let iter_dirty f t = Hashtbl.iter (fun seg () -> f seg) t.dirty_set
 
 let live_bytes t seg =
   check t seg;

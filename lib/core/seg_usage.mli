@@ -21,6 +21,15 @@ val state : t -> int -> seg_state
 val set_state : t -> int -> seg_state -> unit
 val nclean : t -> int
 
+val ndirty : t -> int
+(** How many segments are currently {!Dirty}. *)
+
+val iter_dirty : (int -> unit) -> t -> unit
+(** Iterate the segments currently in state {!Dirty}, in no particular
+    order.  The set is maintained incrementally by {!set_state}, so a
+    victim scan costs time proportional to the number of dirty segments
+    rather than the size of the disk. *)
+
 val live_bytes : t -> int -> int
 val utilization : t -> int -> float
 (** live bytes / payload capacity, in [0, 1] (can exceed 1 transiently if

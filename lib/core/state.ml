@@ -75,6 +75,7 @@ type t = {
   config : Config.t;
   layout : Layout.t;
   cache : Lfs_cache.Block_cache.t;
+  readahead : Lfs_cache.Readahead.t;
   imap : Imap.t;
   usage : Seg_usage.t;
   itable : (int, itable_entry) Hashtbl.t;
@@ -133,6 +134,9 @@ let create io config layout =
       Lfs_cache.Block_cache.create ~capacity_blocks:config.Config.cache_blocks
         ~metrics ~bus:(Lfs_disk.Io.bus io)
         (Lfs_disk.Io.clock io);
+    readahead =
+      Lfs_cache.Readahead.create ~max_window:config.Config.readahead_blocks
+        metrics;
     imap = Imap.create layout;
     usage;
     itable = Hashtbl.create 256;

@@ -70,6 +70,7 @@ type t = {
   config : Config.t;
   layout : Layout.t;
   cache : Lfs_cache.Block_cache.t;
+  readahead : Lfs_cache.Readahead.t;
   imap : Imap.t;
   usage : Seg_usage.t;
   itable : (int, itable_entry) Hashtbl.t;

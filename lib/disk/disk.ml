@@ -23,6 +23,8 @@ type t = {
   c_busy_us : Metrics.counter;
   mutable head_cyl : int;
   mutable next_sector : int;  (* sector following the last transfer *)
+  mutable last_end_us : int;  (* simulated time the last transfer finished *)
+  mutable last_streamed : bool;  (* last request continued the previous one *)
   mutable crash_countdown : int option;
   mutable crashed : bool;
 }
@@ -41,6 +43,8 @@ let create geometry =
     c_busy_us = Metrics.counter metrics "disk.busy_us";
     head_cyl = 0;
     next_sector = 0;
+    last_end_us = 0;
+    last_streamed = false;
     crash_countdown = None;
     crashed = false;
   }
@@ -63,6 +67,7 @@ let stats t =
 
 let seek_count t = Metrics.value t.c_seeks
 let busy_us t = Metrics.value t.c_busy_us
+let last_was_streamed t = t.last_streamed
 
 let reset_stats t = Metrics.reset_prefix t.metrics "disk."
 
@@ -74,32 +79,53 @@ let check_range t sector count =
 
 (* Service time for a request starting at [sector] spanning [count]
    sectors, updating head state.  A request that continues exactly where
-   the previous transfer ended streams with no positioning delay. *)
-let service t ~sector ~count =
+   the previous transfer ended streams with no positioning delay — but
+   only if it is issued back to back.  When [start_us] shows the device
+   sat idle after the previous transfer, the platter has kept spinning:
+   the head must wait out the rest of the current rotation to see that
+   sector again.  This missed-rotation cost is what clustering and
+   read-ahead amortize: per-block sequential reads with think time
+   between them pay it on every request, a multi-block transfer once.
+   Callers that do not supply [start_us] get the old back-to-back
+   behaviour. *)
+let service ?start_us t ~sector ~count =
   let g = t.geometry in
   let cyl = Geometry.cylinder_of_sector g sector in
+  t.last_streamed <- sector = t.next_sector;
   let positioning =
-    if sector = t.next_sector then 0
+    if t.last_streamed then
+      match start_us with
+      | None -> 0
+      | Some start ->
+          let idle_us = max 0 (start - t.last_end_us) in
+          if idle_us = 0 then 0
+          else
+            let rot = Geometry.rotation_us g in
+            let lag = idle_us mod rot in
+            if lag = 0 then 0 else rot - lag
     else begin
       let seek = Geometry.seek_us g ~from_cyl:t.head_cyl ~to_cyl:cyl in
       if seek > 0 then Metrics.incr t.c_seeks;
       seek + Geometry.avg_rotational_latency_us g
     end
   in
+  let total = positioning + Geometry.transfer_us g ~sectors:count in
   t.head_cyl <- Geometry.cylinder_of_sector g (sector + count - 1);
   t.next_sector <- sector + count;
-  positioning + Geometry.transfer_us g ~sectors:count
+  t.last_end_us <-
+    (match start_us with Some s -> s | None -> t.last_end_us) + total;
+  total
 
-let read t ~sector ~count =
+let read ?start_us t ~sector ~count =
   check_range t sector count;
-  let us = service t ~sector ~count in
+  let us = service ?start_us t ~sector ~count in
   Metrics.incr t.c_reads;
   Metrics.add t.c_sectors_read count;
   Metrics.add t.c_busy_us us;
   let ss = t.geometry.Geometry.sector_size in
   (Bytes.sub t.store (sector * ss) (count * ss), us)
 
-let write t ~sector data =
+let write ?start_us t ~sector data =
   if t.crashed then raise Crash;
   let ss = t.geometry.Geometry.sector_size in
   if Bytes.length data = 0 || Bytes.length data mod ss <> 0 then
@@ -117,7 +143,7 @@ let write t ~sector data =
   in
   Bytes.blit data 0 t.store (sector * ss) (persisted * ss);
   if t.crashed then raise Crash;
-  let us = service t ~sector ~count in
+  let us = service ?start_us t ~sector ~count in
   Metrics.incr t.c_writes;
   Metrics.add t.c_sectors_written count;
   Metrics.add t.c_busy_us us;
@@ -140,4 +166,6 @@ let restore t media =
     invalid_arg "Disk.restore: snapshot size mismatch";
   Bytes.blit media 0 t.store 0 (Bytes.length media);
   t.head_cyl <- 0;
-  t.next_sector <- 0
+  t.next_sector <- 0;
+  t.last_end_us <- 0;
+  t.last_streamed <- false

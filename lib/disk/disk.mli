@@ -39,22 +39,37 @@ val stats : t -> stats
     record per call.  Mutating the returned record has no effect. *)
 
 val seek_count : t -> int
-(** Cheap accessor for [disk.seeks] (the hot path reads it around every
-    request to classify transfers as sequential). *)
+(** Cheap accessor for [disk.seeks]. *)
 
 val busy_us : t -> int
+
+val last_was_streamed : t -> bool
+(** Whether the most recent request started exactly where the previous
+    transfer ended (an exact continuation of the access pattern).  This
+    is the correct "sequential" classification for the request audit: a
+    request that merely lands on the same cylinder skips the seek (so
+    [seek_count] is unchanged) but still pays rotational latency and is
+    not sequential. *)
 
 val reset_stats : t -> unit
 (** Zero the [disk.*] counters (other registry entries are untouched). *)
 
-val read : t -> sector:int -> count:int -> bytes * int
+val read : ?start_us:int -> t -> sector:int -> count:int -> bytes * int
 (** [read t ~sector ~count] returns the data of [count] sectors and the
-    service time in microseconds.  @raise Invalid_argument if out of
-    range. *)
+    service time in microseconds.
 
-val write : t -> sector:int -> bytes -> int
+    [start_us] is the simulated time the request reaches the device.
+    With it, a request that continues the previous transfer but arrives
+    after the device went idle pays the missed-rotation cost: the platter
+    kept spinning, so the head waits out the remainder of the current
+    rotation.  Without it the request is treated as issued back to back
+    (zero positioning on exact continuation — the historical model).
+    @raise Invalid_argument if out of range. *)
+
+val write : ?start_us:int -> t -> sector:int -> bytes -> int
 (** [write t ~sector data] writes [data] (whose length must be a multiple
-    of the sector size) and returns the service time.
+    of the sector size) and returns the service time.  [start_us] as in
+    {!read}.
     @raise Crash if a crash point is reached (the write may be torn).
     @raise Invalid_argument if out of range or misaligned. *)
 

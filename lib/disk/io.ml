@@ -20,6 +20,10 @@ type t = {
   h_read_us : Metrics.histogram;
   h_write_us : Metrics.histogram;
   h_request_sectors : Metrics.histogram;
+  c_clustered_reads : Metrics.counter;
+  c_clustered_read_blocks : Metrics.counter;
+  c_clustered_writes : Metrics.counter;
+  c_clustered_write_blocks : Metrics.counter;
   max_backlog_us : int;
   mutable busy_until_us : int;
   mutable audit : Bus.sink option;  (* the legacy request log, as a sink *)
@@ -38,6 +42,11 @@ let create ?(max_backlog_us = 2_000_000) disk clock cpu =
     h_read_us = Metrics.histogram metrics "io.read_us";
     h_write_us = Metrics.histogram metrics "io.write_us";
     h_request_sectors = Metrics.histogram metrics "io.request_sectors";
+    c_clustered_reads = Metrics.counter metrics "io.clustered_reads";
+    c_clustered_read_blocks = Metrics.counter metrics "io.clustered_read_blocks";
+    c_clustered_writes = Metrics.counter metrics "io.clustered_writes";
+    c_clustered_write_blocks =
+      Metrics.counter metrics "io.clustered_write_blocks";
     max_backlog_us;
     busy_until_us = 0;
     audit = None;
@@ -80,9 +89,8 @@ let start_time t = max (now_us t) t.busy_until_us
 
 let sync_read t ~sector ~count =
   let start = start_time t in
-  let before_seeks = Disk.seek_count t.disk in
-  let data, service_us = Disk.read t.disk ~sector ~count in
-  let sequential = Disk.seek_count t.disk = before_seeks in
+  let data, service_us = Disk.read ~start_us:start t.disk ~sector ~count in
+  let sequential = Disk.last_was_streamed t.disk in
   record t ~kind:`Read ~sync:true ~sector ~sectors:count ~service_us ~sequential;
   Clock.advance_to_us t.clock (start + service_us);
   t.busy_until_us <- Clock.now_us t.clock;
@@ -90,26 +98,32 @@ let sync_read t ~sector ~count =
 
 let sync_write t ~sector data =
   let start = start_time t in
-  let before_seeks = Disk.seek_count t.disk in
-  let service_us = Disk.write t.disk ~sector data in
+  let service_us = Disk.write ~start_us:start t.disk ~sector data in
   let sectors = Bytes.length data / sector_size t in
-  let sequential = Disk.seek_count t.disk = before_seeks in
+  let sequential = Disk.last_was_streamed t.disk in
   record t ~kind:`Write ~sync:true ~sector ~sectors ~service_us ~sequential;
   Clock.advance_to_us t.clock (start + service_us);
   t.busy_until_us <- Clock.now_us t.clock
 
 let async_write t ~sector data =
   let start = start_time t in
-  let before_seeks = Disk.seek_count t.disk in
-  let service_us = Disk.write t.disk ~sector data in
+  let service_us = Disk.write ~start_us:start t.disk ~sector data in
   let sectors = Bytes.length data / sector_size t in
-  let sequential = Disk.seek_count t.disk = before_seeks in
+  let sequential = Disk.last_was_streamed t.disk in
   record t ~kind:`Write ~sync:false ~sector ~sectors ~service_us ~sequential;
   t.busy_until_us <- start + service_us;
   (* Writer throttling: the application may run ahead of the disk only by
      the write-buffer depth. *)
   if t.busy_until_us - Clock.now_us t.clock > t.max_backlog_us then
     Clock.advance_to_us t.clock (t.busy_until_us - t.max_backlog_us)
+
+let note_clustered_read t ~blocks =
+  Metrics.incr t.c_clustered_reads;
+  Metrics.add t.c_clustered_read_blocks blocks
+
+let note_clustered_write t ~blocks =
+  Metrics.incr t.c_clustered_writes;
+  Metrics.add t.c_clustered_write_blocks blocks
 
 let drain t = Clock.advance_to_us t.clock t.busy_until_us
 

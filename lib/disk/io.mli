@@ -29,7 +29,9 @@ type request = {
   sector : int;
   sectors : int;
   service_us : int;
-  sequential : bool;  (** continued the previous transfer with no seek *)
+  sequential : bool;
+      (** continued the previous transfer exactly, paying no positioning
+          delay (neither seek nor rotational latency) *)
 }
 
 val create : ?max_backlog_us:int -> Disk.t -> Clock.t -> Cpu_model.t -> t
@@ -63,6 +65,16 @@ val sync_write : t -> sector:int -> bytes -> unit
 val async_write : t -> sector:int -> bytes -> unit
 val drain : t -> unit
 (** Advance the clock until the device is idle. *)
+
+val note_clustered_read : t -> blocks:int -> unit
+(** Account one multi-block read request that replaced [blocks]
+    single-block requests: bumps [io.clustered_reads] and adds [blocks]
+    to [io.clustered_read_blocks].  Called by the file systems when they
+    coalesce contiguous blocks into one {!sync_read}. *)
+
+val note_clustered_write : t -> blocks:int -> unit
+(** Same accounting for coalesced write-back requests
+    ([io.clustered_writes] / [io.clustered_write_blocks]). *)
 
 val backlog_us : t -> int
 (** Queued device time not yet reached by the clock. *)

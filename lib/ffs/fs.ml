@@ -1,4 +1,5 @@
 module Cache = Lfs_cache.Block_cache
+module Readahead = Lfs_cache.Readahead
 module Dir_block = Lfs_vfs.Dir_block
 module Errors = Lfs_vfs.Errors
 module Fs_intf = Lfs_vfs.Fs_intf
@@ -23,6 +24,7 @@ type t = {
   config : Config.t;
   layout : Layout.t;
   cache : Cache.t;
+  readahead : Readahead.t;
   alloc : Alloc.t;
   itable : (int, entry) Hashtbl.t;
   root : int;
@@ -208,6 +210,52 @@ let bmap_alloc t (e : entry) blkno =
     end
   end
 
+(* Write one elevator window, already address-sorted.  With
+   [write_clustering] on, physically adjacent blocks coalesce into a
+   single multi-block transfer (the 4.4BSD clustering pass). *)
+let write_window t window =
+  let items =
+    List.filter_map
+      (fun (addr, key) ->
+        if addr = Layout.null_addr then None
+        else
+          match Cache.find t.cache key with
+          | Some data -> Some (addr, key, data)
+          | None -> None)
+      window
+  in
+  if not t.config.Config.write_clustering then
+    List.iter
+      (fun (addr, key, data) ->
+        Io.async_write t.io ~sector:(sector_of_block t addr) data;
+        Cache.mark_clean t.cache key)
+      items
+  else begin
+    (* [group] holds a run of adjacent blocks, newest first. *)
+    let flush_group group =
+      match List.rev group with
+      | [] -> ()
+      | (addr0, _, _) :: _ as run ->
+          let data = Bytes.concat Bytes.empty (List.map (fun (_, _, d) -> d) run) in
+          Io.async_write t.io ~sector:(sector_of_block t addr0) data;
+          let n = List.length run in
+          if n > 1 then Io.note_clustered_write t.io ~blocks:n;
+          List.iter (fun (_, key, _) -> Cache.mark_clean t.cache key) run
+    in
+    let last =
+      List.fold_left
+        (fun group ((addr, _, _) as item) ->
+          match group with
+          | (prev, _, _) :: _ when addr = prev + 1 -> item :: group
+          | [] -> [ item ]
+          | _ ->
+              flush_group group;
+              [ item ])
+        [] items
+    in
+    flush_group last
+  end
+
 (* Delayed write-back: dirty inodes are folded into their table blocks,
    then every dirty block goes to its fixed address, sorted so the
    elevator gets its best shot — FFS's problem is where the blocks are,
@@ -244,28 +292,46 @@ let flush t =
           | n, x :: rest -> take (n - 1) (x :: acc) rest
         in
         let window, rest = take queue_depth [] l in
-        List.iter
-          (fun (addr, key) ->
-            if addr <> Layout.null_addr then begin
-              match Cache.find t.cache key with
-              | Some data ->
-                  Io.async_write t.io ~sector:(sector_of_block t addr) data;
-                  Cache.mark_clean t.cache key
-              | None -> ()
-            end)
-          (List.sort compare window);
+        write_window t (List.sort compare window);
         windows rest
   in
   windows writes
 
 let persist_bitmaps t =
-  List.iter
-    (fun g ->
-      List.iter
-        (fun (addr, block) ->
-          Io.async_write t.io ~sector:(sector_of_block t addr) block)
-        (Alloc.encode_group t.alloc g))
-    (Alloc.dirty_groups t.alloc);
+  let blocks =
+    List.concat_map
+      (fun g -> Alloc.encode_group t.alloc g)
+      (Alloc.dirty_groups t.alloc)
+  in
+  if not t.config.Config.write_clustering then
+    List.iter
+      (fun (addr, block) ->
+        Io.async_write t.io ~sector:(sector_of_block t addr) block)
+      blocks
+  else begin
+    let flush_group group =
+      match List.rev group with
+      | [] -> ()
+      | (addr0, _) :: _ as run ->
+          Io.async_write t.io ~sector:(sector_of_block t addr0)
+            (Bytes.concat Bytes.empty (List.map snd run));
+          let n = List.length run in
+          if n > 1 then Io.note_clustered_write t.io ~blocks:n
+    in
+    let last =
+      List.fold_left
+        (fun group ((addr, _) as item) ->
+          match group with
+          | (prev, _) :: _ when addr = prev + 1 -> item :: group
+          | [] -> [ item ]
+          | _ ->
+              flush_group group;
+              [ item ])
+        []
+        (List.sort compare blocks)
+    in
+    flush_group last
+  end;
   Alloc.clear_dirty t.alloc
 
 let do_sync t =
@@ -476,6 +542,7 @@ let delete t path =
       end
       else begin
         release_file_blocks t e;
+        Readahead.forget t.readahead ~owner:inum;
         store_inode t None ~inum ~mode:`Sync;
         Hashtbl.remove t.itable inum;
         Alloc.free_inode t.alloc inum
@@ -549,6 +616,82 @@ let read_file_block t ~inum ~blkno ~addr =
       Cache.insert t.cache (key_data ~inum ~blkno) ~dirty:false block;
       block
 
+(* Clustered read: [n] physically contiguous blocks in one disk request,
+   each cached clean. *)
+let read_run t ~inum ~first_blkno ~addr ~n =
+  let bs = t.layout.Layout.block_size in
+  let data =
+    Io.sync_read t.io ~sector:(sector_of_block t addr)
+      ~count:(n * t.layout.Layout.block_sectors)
+  in
+  if n > 1 then Io.note_clustered_read t.io ~blocks:n;
+  for i = 0 to n - 1 do
+    Cache.insert t.cache
+      (key_data ~inum ~blkno:(first_blkno + i))
+      ~dirty:false
+      (Bytes.sub data (i * bs) bs)
+  done;
+  data
+
+(* How many blocks starting at [blkno]/[addr] can go in one request:
+   consecutive logical blocks up to [max_blkno] at consecutive addresses,
+   none already cached (a dirty cached block must never be clobbered with
+   stale disk data). *)
+let probe_run t (e : entry) ~inum ~blkno ~addr ~max_blkno =
+  let n = ref 1 in
+  let continue = ref true in
+  while !continue && blkno + !n <= max_blkno do
+    let next = blkno + !n in
+    if
+      bmap_read t e next = addr + !n
+      && not (Cache.mem t.cache (key_data ~inum ~blkno:next))
+    then incr n
+    else continue := false
+  done;
+  !n
+
+(* Issue a planned read-ahead window: clamp to the file, skip holes and
+   cached blocks, fetch the rest as contiguous runs inserted clean. *)
+let prefetch t (e : entry) ~inum ~start ~count =
+  let bs = t.layout.Layout.block_size in
+  let size = e.ino.Inode.size in
+  let max_blkno = if size = 0 then -1 else (size - 1) / bs in
+  let last = min (start + count - 1) max_blkno in
+  let issue ~first_blkno ~addr ~n =
+    ignore (read_run t ~inum ~first_blkno ~addr ~n);
+    for i = 0 to n - 1 do
+      Readahead.mark_issued t.readahead ~owner:inum ~blkno:(first_blkno + i)
+    done;
+    let bus = Io.bus t.io in
+    if Bus.enabled bus then
+      Bus.emit bus
+        (Event.Readahead { owner = inum; start = first_blkno; blocks = n })
+  in
+  let run_first = ref (-1) in
+  let run_addr = ref Layout.null_addr in
+  let run_n = ref 0 in
+  let flush_run () =
+    if !run_n > 0 then issue ~first_blkno:!run_first ~addr:!run_addr ~n:!run_n;
+    run_n := 0
+  in
+  for blkno = start to last do
+    let addr =
+      if Cache.mem t.cache (key_data ~inum ~blkno) then Layout.null_addr
+      else bmap_read t e blkno
+    in
+    if addr <> Layout.null_addr then begin
+      if !run_n > 0 && addr = !run_addr + !run_n then incr run_n
+      else begin
+        flush_run ();
+        run_first := blkno;
+        run_addr := addr;
+        run_n := 1
+      end
+    end
+    else flush_run ()
+  done;
+  flush_run ()
+
 let read t path ~off ~len =
   Errors.wrap (fun () ->
       Io.charge_syscall t.io;
@@ -559,21 +702,54 @@ let read t path ~off ~len =
       let len = max 0 (min len (size - off)) in
       let bs = t.layout.Layout.block_size in
       let result = Bytes.make len '\000' in
+      let clustering = t.config.Config.read_clustering in
+      let max_blkno = if len = 0 then -1 else (off + len - 1) / bs in
+      (* Blocks fetched by the most recent clustered run are sliced from
+         its buffer rather than looked up again. *)
+      let run_first = ref 0 in
+      let run_n = ref 0 in
+      let run_bytes = ref Bytes.empty in
       let pos = ref 0 in
       while !pos < len do
         let abs = off + !pos in
         let blkno = abs / bs in
         let in_block = abs mod bs in
         let chunk = min (len - !pos) (bs - in_block) in
-        (match Cache.find t.cache (key_data ~inum ~blkno) with
-        | Some block -> Bytes.blit block in_block result !pos chunk
-        | None ->
-            let addr = bmap_read t e blkno in
-            if addr <> Layout.null_addr then
-              Bytes.blit (read_file_block t ~inum ~blkno ~addr) in_block result
-                !pos chunk);
+        if !run_n > 0 && blkno >= !run_first && blkno < !run_first + !run_n
+        then
+          Bytes.blit !run_bytes
+            (((blkno - !run_first) * bs) + in_block)
+            result !pos chunk
+        else begin
+          match Cache.find t.cache (key_data ~inum ~blkno) with
+          | Some block ->
+              Readahead.served t.readahead ~owner:inum ~blkno ~hit:true;
+              Bytes.blit block in_block result !pos chunk
+          | None -> (
+              Readahead.served t.readahead ~owner:inum ~blkno ~hit:false;
+              let addr = bmap_read t e blkno in
+              if addr <> Layout.null_addr then
+                if clustering then begin
+                  let n = probe_run t e ~inum ~blkno ~addr ~max_blkno in
+                  run_first := blkno;
+                  run_n := n;
+                  run_bytes := read_run t ~inum ~first_blkno:blkno ~addr ~n;
+                  Bytes.blit !run_bytes in_block result !pos chunk
+                end
+                else
+                  Bytes.blit
+                    (read_file_block t ~inum ~blkno ~addr)
+                    in_block result !pos chunk)
+        end;
         pos := !pos + chunk
       done;
+      (if len > 0 then
+         match
+           Readahead.observe t.readahead ~owner:inum ~first:(off / bs)
+             ~last:max_blkno
+         with
+         | None -> ()
+         | Some (start, count) -> prefetch t e ~inum ~start ~count);
       Io.charge_copy t.io ~bytes:len;
       e.ino.Inode.atime_us <- Io.now_us t.io;
       e.dirty <- true;
@@ -720,6 +896,7 @@ let fsync t path =
 let flush_caches t =
   do_sync t;
   Cache.drop_clean t.cache;
+  Readahead.reset t.readahead;
   let clean =
     Hashtbl.fold
       (fun inum (e : entry) acc -> if e.dirty then acc else inum :: acc)
@@ -747,6 +924,9 @@ let format io config =
           cache =
             Cache.create ~capacity_blocks:config.Config.cache_blocks
               ~metrics:(Io.metrics io) ~bus:(Io.bus io) (Io.clock io);
+          readahead =
+            Readahead.create ~max_window:config.Config.readahead_blocks
+              (Io.metrics io);
           alloc = Alloc.create layout;
           itable = Hashtbl.create 256;
           root = root_inum;
@@ -799,6 +979,9 @@ let mount ?(config = Config.default) io =
           cache =
             Cache.create ~capacity_blocks:config.Config.cache_blocks
               ~metrics:(Io.metrics io) ~bus:(Io.bus io) (Io.clock io);
+          readahead =
+            Readahead.create ~max_window:config.Config.readahead_blocks
+              (Io.metrics io);
           alloc = Alloc.create layout;
           itable = Hashtbl.create 256;
           root = root_inum;

@@ -13,6 +13,7 @@ type t =
   | Cache_miss of { owner : int; blkno : int }
   | Cache_evict of { owner : int; blkno : int }
   | Cache_writeback of { owner : int; blkno : int }
+  | Readahead of { owner : int; start : int; blocks : int }
   | Segment_write of { seg : int; seq : int; blocks : int; partial : bool }
   | Cleaner_pass of {
       victims : int;
@@ -35,6 +36,7 @@ let name = function
   | Cache_miss _ -> "cache_miss"
   | Cache_evict _ -> "cache_evict"
   | Cache_writeback _ -> "cache_writeback"
+  | Readahead _ -> "readahead"
   | Segment_write _ -> "segment_write"
   | Cleaner_pass _ -> "cleaner_pass"
   | Checkpoint _ -> "checkpoint"
@@ -59,6 +61,12 @@ let fields = function
   | Cache_evict { owner; blkno }
   | Cache_writeback { owner; blkno } ->
       [ ("owner", Json.Int owner); ("blkno", Json.Int blkno) ]
+  | Readahead { owner; start; blocks } ->
+      [
+        ("owner", Json.Int owner);
+        ("start", Json.Int start);
+        ("blocks", Json.Int blocks);
+      ]
   | Segment_write { seg; seq; blocks; partial } ->
       [
         ("seg", Json.Int seg);

@@ -17,6 +17,9 @@ type t =
   | Cache_miss of { owner : int; blkno : int }
   | Cache_evict of { owner : int; blkno : int }
   | Cache_writeback of { owner : int; blkno : int }
+  | Readahead of { owner : int; start : int; blocks : int }
+      (** A read-ahead prefetch of [blocks] blocks starting at block
+          [start] of file [owner]. *)
   | Segment_write of { seg : int; seq : int; blocks : int; partial : bool }
   | Cleaner_pass of {
       victims : int;

@@ -114,6 +114,39 @@ let fold f t init =
 
 let to_list t = List.rev (fold (fun k v acc -> (k, v) :: acc) t [])
 
+let iter_lru f t =
+  let rec go = function
+    | None -> ()
+    | Some node ->
+        f node.key node.value;
+        go node.prev
+  in
+  go t.tail
+
+let fold_lru f t init =
+  let acc = ref init in
+  iter_lru (fun k v -> acc := f k v !acc) t;
+  !acc
+
+type action = Keep | Remove | Stop
+
+let sweep_lru f t =
+  let rec go = function
+    | None -> ()
+    | Some node -> (
+        (* Capture the next node before calling [f]: a [Remove] unlinks
+           [node] and clears its pointers. *)
+        let up = node.prev in
+        match f node.key node.value with
+        | Keep -> go up
+        | Remove ->
+            unlink t node;
+            Hashtbl.remove t.table node.key;
+            go up
+        | Stop -> ())
+  in
+  go t.tail
+
 let clear t =
   Hashtbl.reset t.table;
   t.head <- None;

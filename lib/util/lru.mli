@@ -45,4 +45,21 @@ val fold : ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) t -> 'acc -> 'acc
 val to_list : ('k, 'v) t -> ('k * 'v) list
 (** Most recently used first. *)
 
+val iter_lru : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+(** Iterates from least recently used to most recently used, without
+    materializing a list.  The table must not be mutated during
+    iteration. *)
+
+val fold_lru : ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) t -> 'acc -> 'acc
+(** Fold in least-recently-used-first order. *)
+
+type action = Keep | Remove | Stop
+
+val sweep_lru : ('k -> 'v -> action) -> ('k, 'v) t -> unit
+(** Walk from the cold (LRU) end towards the hot end, applying the
+    directive returned for each entry: [Keep] moves on, [Remove] deletes
+    the entry and moves on, [Stop] ends the walk.  The only mutation
+    allowed during the walk is the [Remove] it performs itself — O(visited)
+    with no allocation, which is what the cache eviction hot path needs. *)
+
 val clear : ('k, 'v) t -> unit

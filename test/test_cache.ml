@@ -91,6 +91,25 @@ let test_remove_and_drop_clean () =
   Alcotest.(check bool) "clean dropped" false (Cache.mem t (key 1 1));
   Alcotest.(check bool) "dirty kept" true (Cache.mem t (key 2 0))
 
+let test_insert_never_evicts_self () =
+  let t, _ = make ~capacity_blocks:2 () in
+  Cache.insert t (key 1 0) ~dirty:true (block 'a');
+  Cache.insert t (key 1 1) ~dirty:true (block 'b');
+  Cache.insert t (key 1 2) ~dirty:true (block 'c');
+  (* Over capacity with nothing but dirty blocks: the only clean entry
+     eviction could pick is the one being inserted.  It must survive —
+     evicting the block just fetched would make every subsequent miss on
+     it refetch from disk forever. *)
+  Cache.insert t (key 2 0) ~dirty:false (block 'd');
+  Alcotest.(check bool) "just-inserted clean block survives" true
+    (Cache.mem t (key 2 0));
+  (* The protection covers only the insert itself: the next clean insert
+     picks the older clean block as its victim. *)
+  Cache.insert t (key 2 1) ~dirty:false (block 'e');
+  Alcotest.(check bool) "newest insert survives" true (Cache.mem t (key 2 1));
+  Alcotest.(check bool) "older clean block evicted" false
+    (Cache.mem t (key 2 0))
+
 let test_insert_replaces_dirty () =
   let t, _ = make () in
   Cache.insert t (key 1 0) ~dirty:true (block 'a');
@@ -111,4 +130,6 @@ let suite =
     Alcotest.test_case "remove and drop_clean" `Quick test_remove_and_drop_clean;
     Alcotest.test_case "insert replaces dirty state" `Quick
       test_insert_replaces_dirty;
+    Alcotest.test_case "insert never evicts its own key" `Quick
+      test_insert_never_evicts_self;
   ]

@@ -33,6 +33,41 @@ let test_sequential_vs_random () =
   let far = Disk.write d ~sector:15_000 buf in
   Alcotest.(check bool) "random costs positioning" true (far > 2 * second)
 
+let test_streamed_classification () =
+  let d = Disk.create (geo ()) in
+  let buf = Bytes.make 4096 'x' in
+  ignore (Disk.write d ~sector:4000 buf);
+  Alcotest.(check bool) "first request not streamed" false
+    (Disk.last_was_streamed d);
+  ignore (Disk.write d ~sector:4008 buf);
+  Alcotest.(check bool) "exact continuation streamed" true
+    (Disk.last_was_streamed d);
+  (* Same cylinder but not contiguous: no seek, yet not sequential. *)
+  ignore (Disk.write d ~sector:4020 buf);
+  Alcotest.(check bool) "gap on same cylinder not streamed" false
+    (Disk.last_was_streamed d)
+
+let test_missed_rotation () =
+  let g = geo () in
+  let d = Disk.create g in
+  let buf = Bytes.make 4096 'x' in
+  let t0 = Disk.write ~start_us:0 d ~sector:4000 buf in
+  (* Back to back, the continuation streams with transfer-only cost. *)
+  let streamed = Disk.write ~start_us:t0 d ~sector:4008 buf in
+  Alcotest.(check int) "back-to-back pays transfer only"
+    (Geometry.transfer_us g ~sectors:8)
+    streamed;
+  ignore (Disk.write ~start_us:(t0 + streamed) d ~sector:4016 buf);
+  (* Arriving after the device idled: the platter kept spinning, so the
+     head waits out the rest of the rotation before the transfer. *)
+  let idle_us = 1000 in
+  let at = t0 + streamed + Geometry.transfer_us g ~sectors:8 + idle_us in
+  let late = Disk.write ~start_us:at d ~sector:4024 buf in
+  let rot = Geometry.rotation_us g in
+  Alcotest.(check int) "late continuation pays the missed rotation"
+    (rot - (idle_us mod rot) + Geometry.transfer_us g ~sectors:8)
+    late
+
 let test_disk_data_roundtrip () =
   let d = Disk.create (geo ()) in
   let data = Bytes.init 1536 (fun i -> Char.chr (i mod 256)) in
@@ -170,6 +205,10 @@ let suite =
   [
     Alcotest.test_case "geometry derivations" `Quick test_geometry_derivations;
     Alcotest.test_case "sequential vs random" `Quick test_sequential_vs_random;
+    Alcotest.test_case "streamed classification" `Quick
+      test_streamed_classification;
+    Alcotest.test_case "missed rotation on idle continuation" `Quick
+      test_missed_rotation;
     Alcotest.test_case "data roundtrip" `Quick test_disk_data_roundtrip;
     Alcotest.test_case "bounds checks" `Quick test_disk_bounds;
     Alcotest.test_case "crash injection (torn write)" `Quick test_crash_injection;

@@ -15,6 +15,7 @@ let () =
       ("model", Test_model.suite);
       ("ffs", Test_ffs.suite);
       ("ffs-alloc", Test_ffs_alloc.suite);
+      ("readahead", Test_readahead.suite);
       ("workload", Test_workload.suite);
       ("trace", Test_trace.suite);
       ("misc", Test_misc.suite);

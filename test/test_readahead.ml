@@ -1,0 +1,219 @@
+(* Clustered multi-block reads and sequential read-ahead.
+
+   The optimizations must be invisible to correctness: every read returns
+   byte-for-byte what a per-block implementation returns, across holes,
+   cache hits and unsynced dirty overlays.  The visible effects are on the
+   request stream (fewer, larger disk reads for sequential scans) and the
+   io.readahead.* accounting. *)
+
+module W = Lfs_workload
+module Driver = W.Driver
+module Io = Lfs_disk.Io
+module Cpu_model = Lfs_disk.Cpu_model
+module Metrics = Lfs_obs.Metrics
+module Rng = Lfs_util.Rng
+
+let disk_mb = 16
+let cpu = Cpu_model.free
+
+(* A cache big enough that nothing is evicted mid-test: block population
+   differences between the two configurations (a clustered run caches
+   whole runs) must not turn into behavioural differences. *)
+let lfs ~fast () =
+  let config =
+    {
+      Lfs_core.Config.small with
+      Lfs_core.Config.cache_blocks = 1024;
+      read_clustering = fast;
+      readahead_blocks = (if fast then 8 else 0);
+    }
+  in
+  W.Setup.lfs ~disk_mb ~cpu ~config ()
+
+let ffs ~fast () =
+  let config =
+    {
+      Lfs_ffs.Config.small with
+      Lfs_ffs.Config.cache_blocks = 1024;
+      read_clustering = fast;
+      readahead_blocks = (if fast then 8 else 0);
+    }
+  in
+  W.Setup.ffs ~disk_mb ~cpu ~config ()
+
+let cval inst name = Metrics.value (Metrics.counter (Driver.metrics inst) name)
+
+let check_invariant inst =
+  let issued = cval inst "io.readahead.issued" in
+  let hit = cval inst "io.readahead.hit" in
+  let wasted = cval inst "io.readahead.wasted" in
+  Alcotest.(check bool)
+    (Printf.sprintf "hit (%d) + wasted (%d) <= issued (%d)" hit wasted issued)
+    true
+    (hit + wasted <= issued)
+
+(* ------------------------------------------------------------------ *)
+(* Byte-for-byte equivalence                                           *)
+(* ------------------------------------------------------------------ *)
+
+let file_size = 96 * 1024
+
+(* One deterministic gauntlet: a file with a hole in the middle, synced,
+   caches dropped, then overwritten in place (dirty, unsynced overlays),
+   then read sequentially and at random offsets/lengths.  Every read is
+   checked against an in-memory model of the file. *)
+let exercise inst =
+  let path = "/f" in
+  let model = Bytes.make file_size '\000' in
+  let put ~seed ~off len =
+    let data = Driver.content ~seed len in
+    Driver.write inst path ~off data;
+    Bytes.blit data 0 model off len
+  in
+  Driver.create inst path;
+  put ~seed:1 ~off:0 (40 * 1024);
+  put ~seed:2 ~off:(64 * 1024) (32 * 1024) (* hole from 40 KB to 64 KB *);
+  Driver.sync inst;
+  Driver.flush_caches inst;
+  (* Dirty overlays straddling block boundaries; never synced, so a
+     clustered fetch that clobbered cached blocks would lose them. *)
+  put ~seed:3 ~off:((10 * 1024) + 100) 5000;
+  put ~seed:4 ~off:((65 * 1024) + 17) 3000;
+  let check what ~off ~len =
+    let expect_len = max 0 (min len (file_size - off)) in
+    let got = Driver.read inst path ~off ~len in
+    if Bytes.length got <> expect_len then
+      Alcotest.failf "%s: read %d bytes, expected %d (off=%d len=%d)" what
+        (Bytes.length got) expect_len off len;
+    if not (Bytes.equal got (Bytes.sub model off expect_len)) then
+      Alcotest.failf "%s: data mismatch (off=%d len=%d)" what off len
+  in
+  (* Sequential scan in 8 KB requests: trains the read-ahead stream. *)
+  let step = 8 * 1024 in
+  let i = ref 0 in
+  while !i < file_size do
+    check "seq" ~off:!i ~len:(min step (file_size - !i));
+    i := !i + step
+  done;
+  (* Random offsets and lengths over holes, cached and cold ranges. *)
+  let rng = Rng.create 42 in
+  for k = 0 to 79 do
+    let off = Rng.int rng file_size in
+    let len = 1 + Rng.int rng (24 * 1024) in
+    check (Printf.sprintf "rand%d" k) ~off ~len
+  done;
+  (* Re-reads served from cache. *)
+  check "reread head" ~off:0 ~len:(16 * 1024);
+  check "reread past hole" ~off:(64 * 1024) ~len:(8 * 1024)
+
+let test_equivalence_lfs () =
+  exercise (lfs ~fast:false ());
+  let inst = lfs ~fast:true () in
+  exercise inst;
+  check_invariant inst
+
+let test_equivalence_ffs () =
+  exercise (ffs ~fast:false ());
+  let inst = ffs ~fast:true () in
+  exercise inst;
+  check_invariant inst
+
+(* ------------------------------------------------------------------ *)
+(* Read-ahead accounting                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters () =
+  let inst = lfs ~fast:true () in
+  let path = "/seq" in
+  let bs = 1024 in
+  Driver.create inst path;
+  Driver.write inst path ~off:0 (Driver.content ~seed:9 (64 * bs));
+  Driver.sync inst;
+  Driver.flush_caches inst;
+  for i = 0 to 63 do
+    ignore (Driver.read inst path ~off:(i * bs) ~len:bs)
+  done;
+  let issued = cval inst "io.readahead.issued" in
+  Alcotest.(check bool) "prefetch happened" true (issued > 0);
+  (* A full sequential scan consumes everything it prefetched: the window
+     is clamped at end of file, so nothing is written off. *)
+  Alcotest.(check int) "all prefetches consumed" issued
+    (cval inst "io.readahead.hit");
+  Alcotest.(check int) "no waste on a full scan" 0
+    (cval inst "io.readahead.wasted");
+  (* Abandoning a stream mid-flight writes off its in-flight blocks. *)
+  Driver.flush_caches inst;
+  let wasted_before = cval inst "io.readahead.wasted" in
+  for i = 0 to 7 do
+    ignore (Driver.read inst path ~off:(i * bs) ~len:bs)
+  done;
+  ignore (Driver.read inst path ~off:(48 * bs) ~len:bs);
+  Alcotest.(check bool) "abandon wastes pending prefetches" true
+    (cval inst "io.readahead.wasted" > wasted_before);
+  check_invariant inst
+
+let test_disabled_issues_nothing () =
+  let inst = lfs ~fast:false () in
+  let path = "/seq" in
+  Driver.create inst path;
+  Driver.write inst path ~off:0 (Driver.content ~seed:9 (64 * 1024));
+  Driver.sync inst;
+  Driver.flush_caches inst;
+  for i = 0 to 63 do
+    ignore (Driver.read inst path ~off:(i * 1024) ~len:1024)
+  done;
+  Alcotest.(check int) "no prefetch when disabled" 0
+    (cval inst "io.readahead.issued")
+
+(* ------------------------------------------------------------------ *)
+(* The request stream of a sequential scan                             *)
+(* ------------------------------------------------------------------ *)
+
+let audited_scan make =
+  let inst = make () in
+  let path = "/big" in
+  let size = 128 * 1024 in
+  Driver.create inst path;
+  Driver.write inst path ~off:0 (Driver.content ~seed:5 size);
+  Driver.sync inst;
+  Driver.flush_caches inst;
+  let io = Driver.io inst in
+  Io.set_recording io true;
+  let step = 4 * 1024 in
+  for i = 0 to (size / step) - 1 do
+    ignore (Driver.read inst path ~off:(i * step) ~len:step)
+  done;
+  let reads =
+    List.filter (fun r -> r.Io.kind = `Read) (Io.requests io)
+  in
+  Io.set_recording io false;
+  ( List.length reads,
+    List.fold_left (fun acc r -> acc + r.Io.sectors) 0 reads )
+
+let check_scan_pair base fast =
+  let base_n, base_sectors = audited_scan base in
+  let fast_n, fast_sectors = audited_scan fast in
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 2x fewer read requests (%d vs %d)" base_n fast_n)
+    true
+    (fast_n * 2 <= base_n);
+  Alcotest.(check int) "total sectors transferred unchanged" base_sectors
+    fast_sectors
+
+let test_seq_scan_lfs () = check_scan_pair (lfs ~fast:false) (lfs ~fast:true)
+let test_seq_scan_ffs () = check_scan_pair (ffs ~fast:false) (ffs ~fast:true)
+
+let suite =
+  [
+    Alcotest.test_case "LFS equivalence with clustering+read-ahead" `Quick
+      test_equivalence_lfs;
+    Alcotest.test_case "FFS equivalence with clustering+read-ahead" `Quick
+      test_equivalence_ffs;
+    Alcotest.test_case "read-ahead counter accounting" `Quick test_counters;
+    Alcotest.test_case "read-ahead disabled issues nothing" `Quick
+      test_disabled_issues_nothing;
+    Alcotest.test_case "LFS sequential scan: fewer, larger reads" `Quick
+      test_seq_scan_lfs;
+    Alcotest.test_case "FFS sequential scan: fewer, larger reads" `Quick
+      test_seq_scan_ffs;
+  ]

@@ -99,6 +99,41 @@ let test_lru_order () =
   ignore (Lru.remove l 3);
   Alcotest.(check (list int)) "after removal" [ 1 ] (List.map fst (Lru.to_list l))
 
+let test_lru_cold_iteration () =
+  let l = Lru.create () in
+  ignore (Lru.add l 1 "a");
+  ignore (Lru.add l 2 "b");
+  ignore (Lru.add l 3 "c");
+  ignore (Lru.find l 1);
+  (* Cold-to-hot is the reverse of to_list, without the allocation. *)
+  Alcotest.(check (list int)) "lru order" [ 2; 3; 1 ]
+    (List.rev (Lru.fold_lru (fun k _ acc -> k :: acc) l []));
+  let seen = ref [] in
+  Lru.iter_lru (fun k _ -> seen := k :: !seen) l;
+  Alcotest.(check (list int)) "iter_lru agrees" [ 2; 3; 1 ] (List.rev !seen)
+
+let test_lru_sweep () =
+  let l = Lru.create () in
+  for i = 1 to 5 do
+    ignore (Lru.add l i (string_of_int i))
+  done;
+  (* Cold-to-hot order is 1..5.  Remove evens, stop at 4: so 1 kept,
+     2 removed, 3 kept, 4 untouched by Stop, 5 never visited. *)
+  Lru.sweep_lru
+    (fun k _ ->
+      if k = 4 then Lru.Stop else if k mod 2 = 0 then Lru.Remove else Lru.Keep)
+    l;
+  Alcotest.(check int) "one removed" 4 (Lru.length l);
+  Alcotest.(check bool) "2 removed" false (Lru.mem l 2);
+  Alcotest.(check bool) "4 kept at Stop" true (Lru.mem l 4);
+  Alcotest.(check bool) "5 untouched" true (Lru.mem l 5);
+  (* Removing every visited entry leaves a consistent structure. *)
+  Lru.sweep_lru (fun _ _ -> Lru.Remove) l;
+  Alcotest.(check int) "swept clean" 0 (Lru.length l);
+  ignore (Lru.add l 9 "z");
+  Alcotest.(check (option string)) "usable after sweep" (Some "z")
+    (Lru.peek l 9)
+
 let prop_lru_model =
   (* Compare against a naive list model. *)
   QCheck.Test.make ~name:"lru matches model" ~count:200
@@ -275,6 +310,8 @@ let suite =
     Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
     Alcotest.test_case "lru replace" `Quick test_lru_replace;
     Alcotest.test_case "lru order" `Quick test_lru_order;
+    Alcotest.test_case "lru cold-end iteration" `Quick test_lru_cold_iteration;
+    Alcotest.test_case "lru sweep" `Quick test_lru_sweep;
     qcheck prop_lru_model;
     Alcotest.test_case "crc32 vectors" `Quick test_crc32_vectors;
     Alcotest.test_case "crc32 slice" `Quick test_crc32_slice;
