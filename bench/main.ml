@@ -113,7 +113,7 @@ let run_fig4 () =
   let file_mb = if !quick then 8 else 100 in
   let disk_mb = if !quick then 64 else 300 in
   let results =
-    List.map (W.Largefile.run ~file_mb) (W.Setup.both ~disk_mb ())
+    List.map (fun i -> W.Largefile.run ~file_mb i) (W.Setup.both ~disk_mb ())
   in
   add_figure "fig4"
     (J.List
@@ -221,6 +221,7 @@ let run_ablation_segsize () =
         done;
         W.Driver.sync inst;
         let stats = Lfs_disk.Disk.stats (Lfs_disk.Io.disk io) in
+        W.Driver.sanitize inst;
         let bandwidth =
           float_of_int (stats.Lfs_disk.Disk.sectors_written * 512)
           /. (float_of_int stats.Lfs_disk.Disk.busy_us /. 1e6)
@@ -369,6 +370,14 @@ let run_ablation_checkpoint () =
           | Ok names -> List.length names
           | Error _ -> 0
         in
+        (match Lfs_core.Fs.integrity fs2 with
+        | [] -> ()
+        | issues ->
+            failwith
+              (Printf.sprintf
+                 "post-recovery integrity (interval %ds, roll-forward %b): %s"
+                 interval_s roll_forward
+                 (String.concat "; " issues)));
         [
           string_of_int interval_s;
           (if roll_forward then "yes" else "no");
@@ -653,14 +662,18 @@ let run_readahead () =
     done;
     let elapsed_us = Lfs_disk.Io.now_us io - t0 in
     let r1, s1, i1, h1, w1, cr1, cb1 = snap () in
-    ( r1 - r0,
-      s1 - s0,
-      float_of_int size /. 1024.0 /. (float_of_int elapsed_us /. 1e6),
-      i1 - i0,
-      h1 - h0,
-      w1 - w0,
-      cr1 - cr0,
-      cb1 - cb0 )
+    let result =
+      ( r1 - r0,
+        s1 - s0,
+        float_of_int size /. 1024.0 /. (float_of_int elapsed_us /. 1e6),
+        i1 - i0,
+        h1 - h0,
+        w1 - w0,
+        cr1 - cr0,
+        cb1 - cb0 )
+    in
+    W.Driver.sanitize inst;
+    result
   in
   let lfs_off =
     {
@@ -785,26 +798,41 @@ let run_ablation_recovery () =
         let lfs_disk = Lfs_disk.Io.disk lfs_io in
         let media = Lfs_disk.Disk.snapshot lfs_disk in
         (* Recovery with roll-forward: replays the synced 10% tail. *)
+        let audit what fs =
+          (* After the timer stops — the scan must not count as recovery
+             time. *)
+          match Lfs_core.Fs.integrity fs with
+          | [] -> ()
+          | issues ->
+              failwith (what ^ " integrity: " ^ String.concat "; " issues)
+        in
         let t0 = Lfs_disk.Io.now_us lfs_io in
-        (match Lfs_core.Fs.mount lfs_io with
-        | Ok _ -> ()
-        | Error e -> failwith ("LFS recovery: " ^ e));
+        let rf_fs =
+          match Lfs_core.Fs.mount lfs_io with
+          | Ok fs -> fs
+          | Error e -> failwith ("LFS recovery: " ^ e)
+        in
         let rf_us = Lfs_disk.Io.now_us lfs_io - t0 in
+        audit "post-roll-forward" rf_fs;
         (* The paper's 1990 configuration: checkpoint only, no
            roll-forward — recovery is just the mount code. *)
         Lfs_disk.Disk.restore lfs_disk media;
         let config = { Config.default with Config.roll_forward = false } in
         let t0 = Lfs_disk.Io.now_us lfs_io in
-        (match Lfs_core.Fs.mount ~config lfs_io with
-        | Ok _ -> ()
-        | Error e -> failwith ("LFS cp-only recovery: " ^ e));
+        let cp_fs =
+          match Lfs_core.Fs.mount ~config lfs_io with
+          | Ok fs -> fs
+          | Error e -> failwith ("LFS cp-only recovery: " ^ e)
+        in
         let cp_us = Lfs_disk.Io.now_us lfs_io - t0 in
+        audit "post-checkpoint-only" cp_fs;
         let ffs_io = W.Driver.io ffs_inst in
         let report =
           match Lfs_ffs.Fsck.run ffs_io with
           | Ok r -> r
           | Error e -> failwith ("fsck: " ^ e)
         in
+        W.Driver.sanitize ffs_inst;
         let dur us = Format.asprintf "%a" Lfs_disk.Clock.pp_duration_us us in
         [
           [

@@ -187,26 +187,26 @@ let cmd_df image =
   Printf.printf "cleanable: %s (dead bytes in dirty segments)\n"
     (Lfs_util.Table.fmt_bytes s.Fs.cleanable_bytes)
 
-(* A small fsck: walk the namespace, read every file completely, and
-   check directory structure invariants. *)
-let cmd_fsck image =
+(* A small fsck: walk the namespace, read every file completely, then run
+   the deep structural pass (double references, wild addresses, orphans)
+   and the segment-usage drift check. *)
+let cmd_fsck image json =
   let fs = mount_image image in
   let files = ref 0 and dirs = ref 0 and bytes = ref 0 in
-  let problems = ref 0 in
+  let problems = ref [] in
+  let problem fmt =
+    Printf.ksprintf (fun s -> problems := s :: !problems) fmt
+  in
   let rec walk path =
     match Fs.readdir fs path with
-    | Error e ->
-        incr problems;
-        Printf.printf "fsck: readdir %s: %s\n" path (Lfs_vfs.Errors.to_string e)
+    | Error e -> problem "readdir %s: %s" path (Lfs_vfs.Errors.to_string e)
     | Ok names ->
         List.iter
           (fun name ->
             let full = if path = "/" then "/" ^ name else path ^ "/" ^ name in
             match Fs.stat fs full with
             | Error e ->
-                incr problems;
-                Printf.printf "fsck: stat %s: %s\n" full
-                  (Lfs_vfs.Errors.to_string e)
+                problem "stat %s: %s" full (Lfs_vfs.Errors.to_string e)
             | Ok stat -> (
                 match stat.Lfs_vfs.Fs_intf.kind with
                 | Lfs_vfs.Fs_intf.Directory ->
@@ -219,24 +219,61 @@ let cmd_fsck image =
                     with
                     | Ok data -> bytes := !bytes + Bytes.length data
                     | Error e ->
-                        incr problems;
-                        Printf.printf "fsck: read %s: %s\n" full
+                        problem "read %s: %s" full
                           (Lfs_vfs.Errors.to_string e))))
           names
   in
   walk "/";
-  (* Deep structural pass: double references, wild addresses, orphans. *)
-  let issues = Lfs_core.Check.fsck fs in
   List.iter
     (fun issue ->
-      incr problems;
-      Format.printf "fsck: %a@." Lfs_core.Check.pp_issue issue)
-    issues;
-  Printf.printf "fsck: %d directories, %d files, %s of data, %d problems\n"
-    !dirs !files
-    (Lfs_util.Table.fmt_bytes !bytes)
-    !problems;
-  if !problems > 0 then exit 1
+      problem "%s" (Format.asprintf "%a" Lfs_core.Check.pp_issue issue))
+    (Lfs_core.Check.fsck fs);
+  (* Segment-usage accounting vs ground truth.  Small drift is expected
+     (the usage array cannot count its own blocks exactly while they are
+     being rewritten); the tolerance matches the always-on sanitizer. *)
+  let layout = Fs.layout fs in
+  let tolerance = 2 * layout.Lfs_core.Layout.block_size in
+  let drift = Lfs_core.Check.usage_drift fs in
+  List.iter
+    (fun (seg, recorded, recomputed) ->
+      if abs (recorded - recomputed) > tolerance then
+        problem "segment %d usage drift: recorded %d live bytes, recomputed %d"
+          seg recorded recomputed)
+    drift;
+  let problems = List.rev !problems in
+  if json then begin
+    let module J = Lfs_obs.Json in
+    print_string
+      (J.to_string_pretty
+         (J.Obj
+            [
+              ("image", J.String image);
+              ("directories", J.Int !dirs);
+              ("files", J.Int !files);
+              ("bytes", J.Int !bytes);
+              ("problems", J.List (List.map (fun s -> J.String s) problems));
+              ( "usage_drift",
+                J.List
+                  (List.map
+                     (fun (seg, recorded, recomputed) ->
+                       J.Obj
+                         [
+                           ("segment", J.Int seg);
+                           ("recorded", J.Int recorded);
+                           ("recomputed", J.Int recomputed);
+                         ])
+                     drift) );
+              ("clean", J.Bool (problems = []));
+            ]))
+  end
+  else begin
+    List.iter (fun s -> Printf.printf "fsck: %s\n" s) problems;
+    Printf.printf "fsck: %d directories, %d files, %s of data, %d problems\n"
+      !dirs !files
+      (Lfs_util.Table.fmt_bytes !bytes)
+      (List.length problems)
+  end;
+  if problems <> [] then exit 1
 
 let cmd_dump_segment image seg =
   let fs = mount_image image in
@@ -400,7 +437,21 @@ let () =
         Term.(const cmd_dump_segment $ image $ path 1);
       noarg "checkpoints" "Decode both checkpoint regions." cmd_checkpoints;
       noarg "clean" "Run the segment cleaner." cmd_clean;
-      noarg "fsck" "Walk and verify the whole namespace." cmd_fsck;
+      (let json =
+         Arg.(
+           value & flag
+           & info [ "json" ]
+               ~doc:"Emit the fsck report as JSON instead of text.")
+       in
+       Cmd.v
+         (Cmd.info "fsck"
+            ~doc:
+              "Walk and verify the whole namespace, run the deep \
+               structural checks (double references, wild addresses, \
+               orphans, link counts) and report segment-usage drift \
+               against recomputed ground truth.  Exits non-zero on any \
+               problem.")
+         Term.(const cmd_fsck $ image $ json));
       (let json =
          Arg.(
            value & flag

@@ -15,7 +15,7 @@ let () =
     "Writing and reading a %d MB file with 8 KB requests on both file\n\
      systems (rates in KB/s of simulated time).\n\n" file_mb;
   let results =
-    List.map (W.Largefile.run ~file_mb) (W.Setup.both ~disk_mb:(file_mb * 3) ())
+    List.map (fun i -> W.Largefile.run ~file_mb i) (W.Setup.both ~disk_mb:(file_mb * 3) ())
   in
   print_string (W.Report.fig4 results);
   print_newline ();

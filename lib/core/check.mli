@@ -37,3 +37,12 @@ val fsck : State.t -> issue list
     cross-check it against the inode map, and walk every live block
     pointer checking for double references and wild addresses.  An empty
     list means the file system is structurally sound. *)
+
+val recovery_divergence :
+  expected:State.t -> recovered:State.t -> string list
+(** Checkpoint/recovery cross-validation: walk both trees in lockstep
+    and report every path where the recovered state's names, kinds,
+    link counts, sizes or bytes differ from the expected state.  Used
+    by recovery tests and bench ablations to prove that a post-crash
+    mount reconstructed exactly the durable image (an empty list), not
+    merely something that fscks clean. *)

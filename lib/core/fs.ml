@@ -314,6 +314,29 @@ let space (st : t) =
     cleanable_bytes = max 0 (capacity_bytes - live - clean_bytes);
   }
 
+(* Usage-drift tolerance: the usage array accounts for its own blocks,
+   so recording it moves up to two blocks' worth of live bytes per
+   segment relative to the recomputed ground truth. *)
+let drift_tolerance (st : t) = 2 * st.layout.Layout.block_size
+
+let integrity (st : t) =
+  let structural =
+    List.map (Format.asprintf "%a" Check.pp_issue) (Check.fsck st)
+  in
+  let tolerance = drift_tolerance st in
+  let drift =
+    List.filter_map
+      (fun (seg, recorded, truth) ->
+        if abs (recorded - truth) > tolerance then
+          Some
+            (Printf.sprintf
+               "segment %d usage drift: recorded %d live bytes, recomputed %d"
+               seg recorded truth)
+        else None)
+      (Check.usage_drift st)
+  in
+  structural @ drift
+
 let unmount (st : t) =
   (try checkpoint_user st
    with Errors.Error Errors.Enospc ->

@@ -57,6 +57,12 @@ val sync : t -> unit
 val fsync : t -> string -> (unit, Lfs_vfs.Errors.t) result
 val flush_caches : t -> unit
 
+val integrity : t -> string list
+(** The always-on sanitizer hook (see {!Lfs_vfs.Fs_intf.S}): runs
+    {!Check.fsck} plus {!Check.usage_drift} (filtered by the usage
+    array's self-reference slack of two blocks per segment) and renders
+    every violation as a string.  Empty means structurally sound. *)
+
 (** {1 LFS-specific control} *)
 
 val checkpoint_now : t -> unit

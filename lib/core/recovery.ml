@@ -245,6 +245,18 @@ let recover io config layout =
         if Lfs_obs.Metrics.value st.counters.State.c_rollforward_segments > 0
         then begin
           repair_namespace st;
+          (* The per-entry estimates accumulated during replay cannot be
+             exact: a segment's data blocks precede the inode block that
+             allocates their file, and blocks superseded post-checkpoint
+             are still counted in their old segments (the incremental
+             deltas died with the crash, and sync never logs usage
+             blocks).  The imap and namespace are now authoritative, so
+             reconcile the whole array against recomputed ground truth —
+             the cleaner picks victims by these counts (§4.3.4). *)
+          let truth = Check.recompute_usage st in
+          Array.iteri
+            (fun seg bytes -> Seg_usage.set_live st.usage seg ~bytes)
+            truth;
           (* Make the next crash recover instantly from what we just
              replayed.  On a log with no clean segments the checkpoint
              cannot be written — recovery still succeeds; the next mount

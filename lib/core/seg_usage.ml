@@ -81,6 +81,13 @@ let sub_live t seg ~bytes =
   t.live.(seg) <- max 0 (t.live.(seg) - bytes);
   touch t seg
 
+let set_live t seg ~bytes =
+  check t seg;
+  if t.live.(seg) <> bytes then begin
+    t.live.(seg) <- bytes;
+    touch t seg
+  end
+
 let reset_segment t seg =
   check t seg;
   t.live.(seg) <- 0;

@@ -43,6 +43,12 @@ val add_live : t -> int -> bytes:int -> now_us:int -> unit
 val sub_live : t -> int -> bytes:int -> unit
 (** Data in a segment died (overwritten or deleted); clamps at zero. *)
 
+val set_live : t -> int -> bytes:int -> unit
+(** Overwrite a segment's live-byte count with an exact value, leaving
+    its age timestamp alone.  Used by recovery to reconcile the array
+    against recomputed ground truth after roll-forward (the incremental
+    deltas died with the crash). *)
+
 val reset_segment : t -> int -> unit
 (** Zero a segment's accounting (when it is cleaned or newly claimed). *)
 

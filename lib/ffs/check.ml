@@ -1,0 +1,17 @@
+(* Conventional home of the FFS structural checker.  The implementation
+   lives at the bottom of fs.ml because it walks the block map and
+   directory internals; this module gives it the same `Check.fsck`
+   surface as the LFS checker so callers treat the two systems alike. *)
+
+type issue = Fs.issue =
+  | Double_reference of { addr : int; owners : string list }
+  | Leaked_block of { addr : int }
+  | Lost_block of { owner : string; addr : int }
+  | Bad_dir_entry of { dir : int; name : string; inum : int }
+  | Bad_nlink of { inum : int; nlink : int; entries : int }
+  | Orphan_inode of { inum : int }
+  | Unreadable of { inum : int; reason : string }
+  | Address_out_of_range of { owner : string; addr : int }
+
+let pp_issue = Fs.pp_issue
+let fsck = Fs.fsck

@@ -1,0 +1,42 @@
+(** Consistency checking for the FFS baseline — the counterpart of
+    {!Lfs_core.Check}, so both systems in every figure run under the
+    same audit.
+
+    Invariants checked (all update-in-place hazards the paper's §3
+    baseline lives with):
+
+    - every block reachable from an allocated inode (direct, indirect,
+      double-indirect) is owned by exactly one structure and lies in a
+      data region, not the superblock or a bitmap/inode-table area;
+    - the cylinder-group block bitmaps agree with reachability: group
+      metadata is permanently allocated, and a data block is marked
+      used iff something references it (no leaks, no lost blocks);
+    - the namespace is sound: every directory entry resolves to an
+      allocated inode, link counts match entry counts, and every
+      allocated inode is reachable from the root. *)
+
+type issue = Fs.issue =
+  | Double_reference of { addr : int; owners : string list }
+      (** one disk block claimed by two different structures *)
+  | Leaked_block of { addr : int }
+      (** marked used in its cylinder-group bitmap, referenced by
+          nothing *)
+  | Lost_block of { owner : string; addr : int }
+      (** referenced by a live structure, marked free in the bitmap *)
+  | Bad_dir_entry of { dir : int; name : string; inum : int }
+      (** directory entry pointing at an unallocated inode *)
+  | Bad_nlink of { inum : int; nlink : int; entries : int }
+      (** an inode whose link count disagrees with its directory
+          entries *)
+  | Orphan_inode of { inum : int }
+      (** allocated inode with no directory entry *)
+  | Unreadable of { inum : int; reason : string }
+  | Address_out_of_range of { owner : string; addr : int }
+      (** pointer outside the disk, or into a bitmap/inode-table
+          region *)
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val fsck : Fs.t -> issue list
+(** Full structural verification of the live (cache-coherent) state.
+    An empty list means the file system is structurally sound. *)

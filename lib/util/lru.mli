@@ -43,7 +43,10 @@ val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
 val fold : ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) t -> 'acc -> 'acc
 
 val to_list : ('k, 'v) t -> ('k * 'v) list
-(** Most recently used first. *)
+(** Most recently used first.  Test/debug only: it materializes the whole
+    table as a list, so production code must use {!iter}, {!fold},
+    {!iter_lru}, {!fold_lru} or {!sweep_lru} instead — the project lint
+    (rule [lru-to-list]) rejects calls from [lib/]. *)
 
 val iter_lru : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
 (** Iterates from least recently used to most recently used, without

@@ -72,6 +72,17 @@ module type S = sig
   val flush_caches : t -> unit
   (** Write back everything, then drop clean cached blocks — the paper's
       "the file cache was flushed" between benchmark phases. *)
+
+  (** {1 Integrity (sanitizer support)} *)
+
+  val integrity : t -> string list
+  (** Run the system's full structural self-check (fsck-grade: namespace
+      vs. allocation maps, block ownership, link counts — and for LFS,
+      segment-usage accounting vs. ground truth) and return a
+      human-readable description of every violation found.  An empty
+      list means the file system is structurally sound.  Tests and
+      benchmarks call this at the end of every run, so any operation
+      that corrupts an invariant fails the run that performed it. *)
 end
 
 (** A file system packaged with its instance, so heterogeneous lists of

@@ -89,13 +89,17 @@ let run ?(file_size = 1024) ?(fill_fraction = 0.7) ?(seed = 23)
     if elapsed_us <= 0 then infinity
     else float_of_int bytes /. 1024.0 /. (float_of_int elapsed_us /. 1e6)
   in
-  {
-    utilization = mean_util;
-    clean_kb_per_sec = rate clean_bytes;
-    net_kb_per_sec = rate (max 0 (clean_bytes - moved));
-    segments_cleaned = freed;
-    write_cost = Lfs_core.Cleaner.write_cost fs;
-  }
+  let result =
+    {
+      utilization = mean_util;
+      clean_kb_per_sec = rate clean_bytes;
+      net_kb_per_sec = rate (max 0 (clean_bytes - moved));
+      segments_cleaned = freed;
+      write_cost = Lfs_core.Cleaner.write_cost fs;
+    }
+  in
+  Driver.sanitize inst;
+  result
 
 (** Sweep Figure 5's x-axis.  Each point gets a fresh file system. *)
 let sweep ?file_size ?fill_fraction ?seed ~utilizations make_fs =

@@ -43,14 +43,18 @@ let run inst =
       (Lfs_disk.Io.requests io)
   in
   Lfs_disk.Io.set_recording io false;
-  {
-    label = Driver.label inst;
-    writes = List.length requests;
-    sync_writes =
-      List.length (List.filter (fun r -> r.Lfs_disk.Io.sync) requests);
-    sequential_writes =
-      List.length (List.filter (fun r -> r.Lfs_disk.Io.sequential) requests);
-    sectors_written =
-      List.fold_left (fun acc r -> acc + r.Lfs_disk.Io.sectors) 0 requests;
-    requests;
-  }
+  let result =
+    {
+      label = Driver.label inst;
+      writes = List.length requests;
+      sync_writes =
+        List.length (List.filter (fun r -> r.Lfs_disk.Io.sync) requests);
+      sequential_writes =
+        List.length (List.filter (fun r -> r.Lfs_disk.Io.sequential) requests);
+      sectors_written =
+        List.fold_left (fun acc r -> acc + r.Lfs_disk.Io.sectors) 0 requests;
+      requests;
+    }
+  in
+  Driver.sanitize inst;
+  result

@@ -39,6 +39,17 @@ let stat (Fs_intf.Instance ((module F), fs)) path =
 let sync (Fs_intf.Instance ((module F), fs)) = F.sync fs
 let flush_caches (Fs_intf.Instance ((module F), fs)) = F.flush_caches fs
 
+let integrity (Fs_intf.Instance ((module F), fs)) = F.integrity fs
+
+let sanitize inst =
+  let (Fs_intf.Instance ((module F), fs)) = inst in
+  F.sync fs;
+  match F.integrity fs with
+  | [] -> ()
+  | issues ->
+      fail "%s: post-run integrity check failed:\n  %s" (label inst)
+        (String.concat "\n  " issues)
+
 let now_us inst = Lfs_disk.Io.now_us (io inst)
 let metrics inst = Lfs_disk.Io.metrics (io inst)
 let bus inst = Lfs_disk.Io.bus (io inst)

@@ -21,6 +21,15 @@ val stat : Lfs_vfs.Fs_intf.instance -> string -> Lfs_vfs.Fs_intf.stat
 val sync : Lfs_vfs.Fs_intf.instance -> unit
 val flush_caches : Lfs_vfs.Fs_intf.instance -> unit
 
+val integrity : Lfs_vfs.Fs_intf.instance -> string list
+(** The system's structural self-check (see {!Lfs_vfs.Fs_intf.S}). *)
+
+val sanitize : Lfs_vfs.Fs_intf.instance -> unit
+(** The always-on sanitizer: sync, then run {!integrity}, raising
+    {!Benchmark_failure} on any issue.  Every workload runner calls
+    this after taking its measurements, so a run that corrupted the
+    file system cannot report a result. *)
+
 val now_us : Lfs_vfs.Fs_intf.instance -> int
 
 val metrics : Lfs_vfs.Fs_intf.instance -> Lfs_obs.Metrics.t

@@ -74,16 +74,20 @@ let run ?(file_size = 4096) ?(theta = 0.0) ?(ops = 20_000) ?(seed = 31)
         done;
         Driver.sync inst)
   in
-  {
-    policy;
-    theta;
-    disk_utilization;
-    write_cost = Lfs_core.Fs.write_cost fs;
-    write_kbs =
-      (if elapsed <= 0 then infinity
-       else
-         float_of_int (ops * file_size) /. 1024.0
-         /. (float_of_int elapsed /. 1e6));
-    segments_cleaned =
-      (Lfs_core.Fs.stats fs).Lfs_core.State.segments_cleaned - base_cleaned;
-  }
+  let result =
+    {
+      policy;
+      theta;
+      disk_utilization;
+      write_cost = Lfs_core.Fs.write_cost fs;
+      write_kbs =
+        (if elapsed <= 0 then infinity
+         else
+           float_of_int (ops * file_size) /. 1024.0
+           /. (float_of_int elapsed /. 1e6));
+      segments_cleaned =
+        (Lfs_core.Fs.stats fs).Lfs_core.State.segments_cleaned - base_cleaned;
+    }
+  in
+  Driver.sanitize inst;
+  result

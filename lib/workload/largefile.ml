@@ -71,20 +71,24 @@ let run ?(file_mb = 100) ?(seed = 17) inst =
           ignore (Driver.read inst path ~off:(i * request) ~len:request)
         done)
   in
-  {
-    label = Driver.label inst;
-    file_mb;
-    seq_write_kbs = kbs size seq_write_us;
-    seq_read_kbs = kbs size seq_read_us;
-    rand_write_kbs = kbs size rand_write_us;
-    rand_read_kbs = kbs size rand_read_us;
-    seq_reread_kbs = kbs size seq_reread_us;
-    phases =
-      [
-        ("seq_write", seq_write_m);
-        ("seq_read", seq_read_m);
-        ("rand_write", rand_write_m);
-        ("rand_read", rand_read_m);
-        ("seq_reread", seq_reread_m);
-      ];
-  }
+  let result =
+    {
+      label = Driver.label inst;
+      file_mb;
+      seq_write_kbs = kbs size seq_write_us;
+      seq_read_kbs = kbs size seq_read_us;
+      rand_write_kbs = kbs size rand_write_us;
+      rand_read_kbs = kbs size rand_read_us;
+      seq_reread_kbs = kbs size seq_reread_us;
+      phases =
+        [
+          ("seq_write", seq_write_m);
+          ("seq_read", seq_read_m);
+          ("rand_write", rand_write_m);
+          ("rand_read", rand_read_m);
+          ("seq_reread", seq_reread_m);
+        ];
+    }
+  in
+  Driver.sanitize inst;
+  result

@@ -51,12 +51,16 @@ let run ?(nfiles = 10_000) ?(file_size = 1024) inst =
           Driver.delete inst (path_of i)
         done)
   in
-  {
-    label = Driver.label inst;
-    nfiles;
-    file_size;
-    create_per_sec = per_sec nfiles create_us;
-    read_per_sec = per_sec nfiles read_us;
-    delete_per_sec = per_sec nfiles delete_us;
-    phases = [ ("create", create_m); ("read", read_m); ("delete", delete_m) ];
-  }
+  let result =
+    {
+      label = Driver.label inst;
+      nfiles;
+      file_size;
+      create_per_sec = per_sec nfiles create_us;
+      read_per_sec = per_sec nfiles read_us;
+      delete_per_sec = per_sec nfiles delete_us;
+      phases = [ ("create", create_m); ("read", read_m); ("delete", delete_m) ];
+    }
+  in
+  Driver.sanitize inst;
+  result

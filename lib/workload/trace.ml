@@ -179,13 +179,17 @@ let replay inst events =
   Driver.sync inst;
   let elapsed_us = Lfs_disk.Io.now_us io - t0 in
   let n = List.length events in
-  {
-    label = Driver.label inst;
-    events = n;
-    elapsed_us;
-    ops_per_sec =
-      (if elapsed_us <= 0 then infinity
-       else float_of_int n /. (float_of_int elapsed_us /. 1e6));
-    bytes_written = !bytes_written;
-    bytes_read = !bytes_read;
-  }
+  let result =
+    {
+      label = Driver.label inst;
+      events = n;
+      elapsed_us;
+      ops_per_sec =
+        (if elapsed_us <= 0 then infinity
+         else float_of_int n /. (float_of_int elapsed_us /. 1e6));
+      bytes_written = !bytes_written;
+      bytes_read = !bytes_read;
+    }
+  in
+  Driver.sanitize inst;
+  result

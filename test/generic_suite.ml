@@ -30,8 +30,7 @@ struct
       Alcotest.failf "%s: content mismatch (%d vs %d bytes)" what
         (Bytes.length expected) (Bytes.length actual)
 
-  let test_crud () =
-    let fs = Env.make () in
+  let test_crud fs =
     write_file fs "/a" (pattern ~seed:1 3000);
     check_bytes "read back" (pattern ~seed:1 3000) (read_all fs "/a");
     F.sync fs;
@@ -40,8 +39,7 @@ struct
     check_ok "delete" (F.delete fs "/a");
     Alcotest.(check bool) "gone" false (F.exists fs "/a")
 
-  let test_tree () =
-    let fs = Env.make () in
+  let test_tree fs =
     check_ok "mkdir" (F.mkdir fs "/d1");
     check_ok "mkdir" (F.mkdir fs "/d1/d2");
     write_file fs "/d1/d2/f" (pattern ~seed:2 500);
@@ -51,8 +49,7 @@ struct
     | Error (E.Enotempty _) -> ()
     | _ -> Alcotest.fail "nonempty delete accepted")
 
-  let test_many_files () =
-    let fs = Env.make () in
+  let test_many_files fs =
     for i = 0 to 99 do
       write_file fs (Printf.sprintf "/f%02d" i) (pattern ~seed:i 700)
     done;
@@ -70,8 +67,7 @@ struct
     Alcotest.(check int) "count" 50
       (List.length (check_ok "readdir" (F.readdir fs "/")))
 
-  let test_overwrite_and_extend () =
-    let fs = Env.make () in
+  let test_overwrite_and_extend fs =
     write_file fs "/f" (pattern ~seed:3 2000);
     check_ok "patch" (F.write fs "/f" ~off:500 (Bytes.of_string "XYZ"));
     check_ok "extend" (F.write fs "/f" ~off:3000 (Bytes.of_string "tail"));
@@ -83,8 +79,7 @@ struct
       if Bytes.get data i <> '\000' then Alcotest.failf "hole not zero at %d" i
     done
 
-  let test_truncate () =
-    let fs = Env.make () in
+  let test_truncate fs =
     write_file fs "/t" (pattern ~seed:4 5000);
     check_ok "shrink" (F.truncate fs "/t" ~size:1234);
     check_bytes "prefix" (Bytes.sub (pattern ~seed:4 5000) 0 1234) (read_all fs "/t");
@@ -93,16 +88,14 @@ struct
       (Bytes.sub (pattern ~seed:4 5000) 0 1234)
       (read_all fs "/t")
 
-  let test_rename () =
-    let fs = Env.make () in
+  let test_rename fs =
     write_file fs "/old" (pattern ~seed:5 800);
     check_ok "mkdir" (F.mkdir fs "/d");
     check_ok "rename" (F.rename fs "/old" "/d/new");
     Alcotest.(check bool) "old gone" false (F.exists fs "/old");
     check_bytes "content moved" (pattern ~seed:5 800) (read_all fs "/d/new")
 
-  let test_hard_links () =
-    let fs = Env.make () in
+  let test_hard_links fs =
     write_file fs "/orig" (pattern ~seed:8 2048);
     check_ok "mkdir" (F.mkdir fs "/d");
     check_ok "link" (F.link fs "/orig" "/d/alias");
@@ -134,14 +127,12 @@ struct
     | Error (E.Eexist _) -> ()
     | _ -> Alcotest.fail "link onto existing name"
 
-  let test_fsync () =
-    let fs = Env.make () in
+  let test_fsync fs =
     write_file fs "/f" (pattern ~seed:6 1500);
     check_ok "fsync" (F.fsync fs "/f");
     check_bytes "after fsync" (pattern ~seed:6 1500) (read_all fs "/f")
 
-  let test_stat_fields () =
-    let fs = Env.make () in
+  let test_stat_fields fs =
     check_ok "mkdir" (F.mkdir fs "/d");
     write_file fs "/d/f" (pattern ~seed:7 1000);
     let st = check_ok "stat file" (F.stat fs "/d/f") in
@@ -150,10 +141,26 @@ struct
     let st = check_ok "stat dir" (F.stat fs "/d") in
     Alcotest.(check bool) "dir kind" true (st.Fs_intf.kind = Fs_intf.Directory)
 
+  (* Every conformance test runs under the always-on sanitizer: after
+     the test body, sync and require the system's structural self-check
+     to come back clean, so a test that corrupts an invariant fails
+     even when its own assertions pass. *)
+  let sanitized f () =
+    let fs = Env.make () in
+    f fs;
+    F.sync fs;
+    match F.integrity fs with
+    | [] -> ()
+    | issues ->
+        Alcotest.failf "%s: integrity issues after test:\n  %s" Env.label
+          (String.concat "\n  " issues)
+
   let suite =
     List.map
       (fun (name, f) ->
-        Alcotest.test_case (Printf.sprintf "%s: %s" Env.label name) `Quick f)
+        Alcotest.test_case
+          (Printf.sprintf "%s: %s" Env.label name)
+          `Quick (sanitized f))
       [
         ("crud", test_crud);
         ("tree", test_tree);

@@ -13,6 +13,7 @@ let () =
       ("lfs-cleaner", Test_lfs_cleaner.suite);
       ("fs-conformance", Generic_suite.suite);
       ("model", Test_model.suite);
+      ("check", Test_check.suite);
       ("ffs", Test_ffs.suite);
       ("ffs-alloc", Test_ffs_alloc.suite);
       ("readahead", Test_readahead.suite);

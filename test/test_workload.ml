@@ -35,7 +35,7 @@ let test_smallfile_shapes () =
 
 let test_largefile_shapes () =
   match
-    List.map (W.Largefile.run ~file_mb:6) (W.Setup.both ~disk_mb:48 ())
+    List.map (fun i -> W.Largefile.run ~file_mb:6 i) (W.Setup.both ~disk_mb:48 ())
   with
   | [ lfs; ffs ] ->
       (* LFS: random writes at least as fast as sequential (the log makes

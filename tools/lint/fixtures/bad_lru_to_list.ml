@@ -1,0 +1,7 @@
+(* expect: lru-to-list *)
+(* Lru.to_list materializes the whole cache; hot paths must use
+   iter_lru/fold_lru/sweep_lru instead. *)
+let count_dirty cache =
+  List.length (List.filter snd (Lru.to_list cache))
+
+let qualified cache = Lfs_util.Lru.to_list cache

@@ -1,0 +1,6 @@
+(* expect: metric-dup *)
+(* The same metric name registered at two sites: two components fighting
+   over one instrument. *)
+let writes_a = Metrics.counter "lfs.segment.writes"
+
+let writes_b = Lfs_obs.Metrics.counter "lfs.segment.writes"

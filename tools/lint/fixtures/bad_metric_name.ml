@@ -1,0 +1,8 @@
+(* expect: metric-name *)
+(* Metric names must be dotted, lowercase, and under a known component
+   prefix (disk.|io.|cache.|lfs.|ffs.). *)
+let bad_prefix = Metrics.counter "cleaner.segments_cleaned"
+
+let bad_case = Lfs_obs.Metrics.gauge "lfs.SegmentsFree"
+
+let no_dot = Metrics.histogram "latency"

@@ -1,0 +1,10 @@
+(* expect: nondet *)
+(* Ambient nondeterminism: wall-clock time and the global Random state
+   make runs irreproducible. *)
+let now () = Unix.gettimeofday ()
+
+let jitter () = Random.int 100
+
+let seed () = Random.self_init ()
+
+let cpu () = Sys.time ()

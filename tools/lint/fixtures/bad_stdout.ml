@@ -1,0 +1,8 @@
+(* expect: stdout *)
+(* lib/ code printing to stdout corrupts machine-readable bench output;
+   observability goes through Lfs_obs. *)
+let debug segno = Printf.printf "cleaning segment %d\n" segno
+
+let shout () = print_endline "hello from the cleaner"
+
+let fmt () = Format.printf "util=%f@." 0.75

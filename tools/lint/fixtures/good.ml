@@ -1,0 +1,18 @@
+(* A clean module: disk access through Io, time through Clock, seeded
+   randomness, Lfs_obs output, bounded Lru iteration, conforming and
+   unique metric names.  Must produce zero violations. *)
+let read_block io addr buf = Io.sync_read io ~sector:addr buf
+
+let now io = Clock.now_us (Io.clock io)
+
+let pick rng n = Rng.int rng n
+
+let state_random st = Random.State.int st 10
+
+let log_cleaned bus segno = Bus.emit bus (Event.Segment_cleaned { segno })
+
+let visit cache f = Lru.iter_lru cache f
+
+let cleaned = Metrics.counter "lfs.cleaner.segments_cleaned"
+
+let hits = Metrics.counter "cache.block.hits"

@@ -1,0 +1,349 @@
+(* Project lint: a static-analysis pass over lib/**/*.ml enforcing the
+   layering invariants the simulation depends on but the type system
+   cannot see.  Parses each file with compiler-libs and walks the AST;
+   no type information is needed, so fixtures and generated code lint
+   without compiling.
+
+   Rules (each with a negative fixture under fixtures/):
+
+     disk-io      every disk access flows through Lfs_disk.Io; calling
+                  Disk.read/Disk.write anywhere else bypasses request
+                  accounting and the Figure 1/2 audits under-count
+     nondet       all time comes from the simulated Clock and all
+                  randomness from Lfs_util.Rng; Unix.*, Sys.time and the
+                  ambient Random.* break run-to-run determinism
+     stdout       lib/ code never prints to stdout; observability goes
+                  through Lfs_obs (metrics, trace bus) so benchmark
+                  output stays machine-readable
+     lru-to-list  Lru.to_list materializes the whole cache as a list and
+                  is test/debug-only; hot paths use iter_lru/fold_lru/
+                  sweep_lru
+     metric-name  metric names registered via Lfs_obs.Metrics must be
+                  dotted, lowercase, and under a known component prefix
+                  (disk.|io.|cache.|lfs.|ffs.)
+     metric-dup   a metric name is registered at exactly one source
+                  location; two sites sharing a literal means two
+                  components fighting over one instrument
+
+   Allowlist: a text file of "<rule> <path-suffix>" lines; a violation is
+   suppressed when its rule matches and its file path ends with the
+   suffix.  See tools/lint/allowlist.
+
+   Usage:
+     lint.exe [--allowlist FILE] PATH...   lint every .ml under PATHs
+     lint.exe --self-test DIR              check fixture expectations:
+                                           each fixture's first line is
+                                           "(* expect: <rule> *)" (or the
+                                           file is named good*.ml and
+                                           must lint clean)
+
+   Exit status: 0 clean, 1 violations (or fixture expectation failures),
+   2 usage / IO errors. *)
+
+type violation = { rule : string; file : string; line : int; message : string }
+
+let violations : violation list ref = ref []
+
+(* metric name -> registration sites (file, line), newest first *)
+let metric_sites : (string, (string * int) list) Hashtbl.t = Hashtbl.create 64
+
+let report ~rule ~file ~line message =
+  violations := { rule; file; line; message } :: !violations
+
+let line_of_loc (loc : Location.t) = loc.Location.loc_start.Lexing.pos_lnum
+
+let flatten lid =
+  match Longident.flatten lid with
+  | parts -> String.concat "." parts
+  | exception _ -> ""
+
+(* --- rule predicates ------------------------------------------------ *)
+
+let is_disk_io s =
+  s = "Disk.read" || s = "Disk.write"
+  || String.ends_with ~suffix:".Disk.read" s
+  || String.ends_with ~suffix:".Disk.write" s
+
+let is_nondet s =
+  String.starts_with ~prefix:"Unix." s
+  || s = "Sys.time"
+  || s = "Stdlib.Sys.time"
+  || (String.starts_with ~prefix:"Random." s
+     && not (String.starts_with ~prefix:"Random.State." s))
+  || String.starts_with ~prefix:"Stdlib.Random." s
+
+let stdout_idents =
+  [
+    "print_string"; "print_endline"; "print_newline"; "print_char";
+    "print_int"; "print_float"; "print_bytes"; "Printf.printf";
+    "Format.printf"; "Format.print_string"; "Format.print_newline";
+    "Format.print_flush"; "Format.std_formatter";
+  ]
+
+let is_stdout s =
+  List.mem s stdout_idents
+  || List.exists (fun i -> s = "Stdlib." ^ i) stdout_idents
+
+let is_lru_to_list s =
+  s = "Lru.to_list" || String.ends_with ~suffix:".Lru.to_list" s
+
+let metric_registrars = [ "Metrics.counter"; "Metrics.gauge"; "Metrics.histogram" ]
+
+let is_metric_registrar s =
+  List.exists
+    (fun r -> s = r || String.ends_with ~suffix:("." ^ r) s)
+    metric_registrars
+
+let metric_prefixes = [ "disk"; "io"; "cache"; "lfs"; "ffs" ]
+
+let metric_name_ok name =
+  match String.split_on_char '.' name with
+  | first :: (_ :: _ as rest) ->
+      List.mem first metric_prefixes
+      && List.for_all
+           (fun seg ->
+             seg <> ""
+             && String.for_all
+                  (fun c ->
+                    (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_')
+                  seg)
+           rest
+  | _ -> false
+
+(* --- AST walk ------------------------------------------------------- *)
+
+let check_ident ~file s loc =
+  let line = line_of_loc loc in
+  if is_disk_io s then
+    report ~rule:"disk-io" ~file ~line
+      (Printf.sprintf
+         "%s: raw disk access outside Lfs_disk.Io bypasses request \
+          accounting"
+         s)
+  else if is_nondet s then
+    report ~rule:"nondet" ~file ~line
+      (Printf.sprintf
+         "%s: ambient nondeterminism; use the simulated Clock or \
+          Lfs_util.Rng"
+         s)
+  else if is_stdout s then
+    report ~rule:"stdout" ~file ~line
+      (Printf.sprintf "%s: lib/ code must not print to stdout; use Lfs_obs" s)
+  else if is_lru_to_list s then
+    report ~rule:"lru-to-list" ~file ~line
+      (Printf.sprintf
+         "%s: test/debug-only; hot paths use iter_lru/fold_lru/sweep_lru" s)
+
+let check_metric_registration ~file name loc =
+  let line = line_of_loc loc in
+  if not (metric_name_ok name) then
+    report ~rule:"metric-name" ~file ~line
+      (Printf.sprintf
+         "metric %S does not match <%s>.<lowercase_dotted> convention" name
+         (String.concat "|" metric_prefixes));
+  let sites =
+    match Hashtbl.find_opt metric_sites name with Some l -> l | None -> []
+  in
+  Hashtbl.replace metric_sites name ((file, line) :: sites)
+
+let iterator ~file =
+  let open Ast_iterator in
+  let expr it (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } -> check_ident ~file (flatten txt) loc
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+      when is_metric_registrar (flatten txt) -> (
+        (* The metric name is the first string-literal argument; names
+           built at runtime cannot be checked statically. *)
+        let literal =
+          List.find_map
+            (fun (_, (arg : Parsetree.expression)) ->
+              match arg.pexp_desc with
+              | Pexp_constant (Pconst_string (s, _, _)) ->
+                  Some (s, arg.pexp_loc)
+              | _ -> None)
+            args
+        in
+        match literal with
+        | Some (name, loc) -> check_metric_registration ~file name loc
+        | None -> ())
+    | _ -> ());
+    default_iterator.expr it e
+  in
+  { default_iterator with expr }
+
+let lint_file file =
+  let ic = open_in_bin file in
+  let source =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf file;
+  match Parse.implementation lexbuf with
+  | ast ->
+      let it = iterator ~file in
+      it.Ast_iterator.structure it ast
+  | exception exn ->
+      report ~rule:"parse" ~file ~line:1
+        (Printf.sprintf "cannot parse: %s" (Printexc.to_string exn))
+
+(* Cross-file pass, after every file has been scanned. *)
+let finish_metric_dups () =
+  Hashtbl.iter
+    (fun name sites ->
+      match List.rev sites with
+      | _first :: (_ :: _ as dups) ->
+          List.iter
+            (fun (file, line) ->
+              report ~rule:"metric-dup" ~file ~line
+                (Printf.sprintf "metric %S is already registered elsewhere"
+                   name))
+            dups
+      | _ -> ())
+    metric_sites
+
+(* --- file discovery and allowlist ----------------------------------- *)
+
+let rec ml_files path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun name -> ml_files (Filename.concat path name))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+let load_allowlist file =
+  let ic = open_in file in
+  let rec loop acc =
+    match input_line ic with
+    | exception End_of_file ->
+        close_in_noerr ic;
+        List.rev acc
+    | line -> (
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        match
+          String.split_on_char ' ' line
+          |> List.concat_map (String.split_on_char '\t')
+          |> List.filter (fun s -> s <> "")
+        with
+        | [ rule; suffix ] -> loop ((rule, suffix) :: acc)
+        | [] -> loop acc
+        | _ ->
+            Printf.eprintf "%s: malformed allowlist line %S\n" file line;
+            exit 2)
+  in
+  loop []
+
+let allowed allowlist v =
+  List.exists
+    (fun (rule, suffix) -> rule = v.rule && String.ends_with ~suffix v.file)
+    allowlist
+
+(* --- self-test over fixtures ----------------------------------------- *)
+
+let expected_rule file =
+  let ic = open_in file in
+  let first = try input_line ic with End_of_file -> "" in
+  close_in_noerr ic;
+  let prefix = "(* expect: " and suffix = " *)" in
+  if
+    String.starts_with ~prefix first
+    && String.ends_with ~suffix first
+    && String.length first > String.length prefix + String.length suffix
+  then
+    Some
+      (String.sub first (String.length prefix)
+         (String.length first - String.length prefix - String.length suffix))
+  else None
+
+let self_test dir =
+  let failures = ref 0 in
+  List.iter
+    (fun file ->
+      violations := [];
+      Hashtbl.reset metric_sites;
+      lint_file file;
+      finish_metric_dups ();
+      let fired = List.map (fun v -> v.rule) !violations in
+      let base = Filename.basename file in
+      match expected_rule file with
+      | Some rule ->
+          if List.mem rule fired then Printf.printf "fixture %s: ok (%s)\n" base rule
+          else begin
+            incr failures;
+            Printf.printf "fixture %s: FAILED — expected rule %s, fired [%s]\n"
+              base rule
+              (String.concat "; " fired)
+          end
+      | None ->
+          if String.starts_with ~prefix:"good" base then
+            if fired = [] then Printf.printf "fixture %s: ok (clean)\n" base
+            else begin
+              incr failures;
+              Printf.printf "fixture %s: FAILED — expected clean, fired [%s]\n"
+                base
+                (String.concat "; " fired)
+            end
+          else begin
+            incr failures;
+            Printf.printf
+              "fixture %s: FAILED — missing \"(* expect: <rule> *)\" header\n"
+              base
+          end)
+    (ml_files dir);
+  if !failures > 0 then begin
+    Printf.printf "%d fixture(s) failed\n" !failures;
+    exit 1
+  end
+
+(* --- entry point ------------------------------------------------------ *)
+
+let usage () =
+  prerr_endline
+    "usage: lint.exe [--allowlist FILE] PATH...\n\
+    \       lint.exe --self-test DIR";
+  exit 2
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "--self-test"; dir ] -> self_test dir
+  | _ ->
+      let rec parse allowlist paths = function
+        | "--allowlist" :: file :: rest -> parse (load_allowlist file) paths rest
+        | "--allowlist" :: [] -> usage ()
+        | ("--self-test" | "--help" | "-h") :: _ -> usage ()
+        | p :: rest -> parse allowlist (p :: paths) rest
+        | [] -> (allowlist, List.rev paths)
+      in
+      let allowlist, paths = parse [] [] args in
+      if paths = [] then usage ();
+      let files = List.concat_map ml_files paths in
+      if files = [] then begin
+        Printf.eprintf "lint: no .ml files under %s\n" (String.concat " " paths);
+        exit 2
+      end;
+      List.iter lint_file files;
+      finish_metric_dups ();
+      let live =
+        List.filter (fun v -> not (allowed allowlist v)) (List.rev !violations)
+      in
+      List.iter
+        (fun v ->
+          Printf.printf "%s:%d: [%s] %s\n" v.file v.line v.rule v.message)
+        live;
+      if live <> [] then begin
+        Printf.printf "lint: %d violation(s) in %d file(s)\n" (List.length live)
+          (List.length
+             (List.sort_uniq String.compare (List.map (fun v -> v.file) live)));
+        exit 1
+      end
+      else
+        Printf.printf "lint: %d file(s) clean (%d metric registrations)\n"
+          (List.length files)
+          (Hashtbl.length metric_sites)
