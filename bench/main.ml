@@ -220,7 +220,7 @@ let run_ablation_segsize () =
           if i mod 200 = 199 then W.Driver.sync inst
         done;
         W.Driver.sync inst;
-        let stats = Lfs_disk.Disk.stats (Lfs_disk.Io.disk io) in
+        let stats = Lfs_disk.Io.disk_stats io in
         W.Driver.sanitize inst;
         let bandwidth =
           float_of_int (stats.Lfs_disk.Disk.sectors_written * 512)
@@ -549,7 +549,7 @@ let run_ablation_cache () =
         in
         let measure inst =
           let r = W.Trace.replay inst events in
-          let stats = Lfs_disk.Disk.stats (Lfs_disk.Io.disk (W.Driver.io inst)) in
+          let stats = Lfs_disk.Io.disk_stats (W.Driver.io inst) in
           (r.W.Trace.ops_per_sec, stats.Lfs_disk.Disk.sectors_read * 512)
         in
         let lfs_ops, lfs_read =
@@ -642,11 +642,10 @@ let run_readahead () =
     W.Driver.sync inst;
     W.Driver.flush_caches inst;
     let io = W.Driver.io inst in
-    let disk = Lfs_disk.Io.disk io in
     let m = Lfs_disk.Io.metrics io in
     let cval name = Lfs_obs.Metrics.value (Lfs_obs.Metrics.counter m name) in
     let snap () =
-      let s = Lfs_disk.Disk.stats disk in
+      let s = Lfs_disk.Io.disk_stats io in
       ( s.Lfs_disk.Disk.reads,
         s.Lfs_disk.Disk.sectors_read,
         cval "io.readahead.issued",
@@ -795,8 +794,7 @@ let run_ablation_recovery () =
         populate ~checkpoint_at:(nfiles * 9 / 10) lfs_inst;
         populate ffs_inst;
         let lfs_io = W.Driver.io lfs_inst in
-        let lfs_disk = Lfs_disk.Io.disk lfs_io in
-        let media = Lfs_disk.Disk.snapshot lfs_disk in
+        let media = Lfs_disk.Io.snapshot_media lfs_io in
         (* Recovery with roll-forward: replays the synced 10% tail. *)
         let audit what fs =
           (* After the timer stops — the scan must not count as recovery
@@ -806,6 +804,11 @@ let run_ablation_recovery () =
           | issues ->
               failwith (what ^ " integrity: " ^ String.concat "; " issues)
         in
+        let cval name =
+          Lfs_obs.Metrics.value
+            (Lfs_obs.Metrics.counter (Lfs_disk.Io.metrics lfs_io) name)
+        in
+        let seg0 = cval "lfs.rollforward_segments" in
         let t0 = Lfs_disk.Io.now_us lfs_io in
         let rf_fs =
           match Lfs_core.Fs.mount lfs_io with
@@ -813,10 +816,11 @@ let run_ablation_recovery () =
           | Error e -> failwith ("LFS recovery: " ^ e)
         in
         let rf_us = Lfs_disk.Io.now_us lfs_io - t0 in
+        let segments_replayed = cval "lfs.rollforward_segments" - seg0 in
         audit "post-roll-forward" rf_fs;
         (* The paper's 1990 configuration: checkpoint only, no
            roll-forward — recovery is just the mount code. *)
-        Lfs_disk.Disk.restore lfs_disk media;
+        Lfs_disk.Io.restore_media lfs_io media;
         let config = { Config.default with Config.roll_forward = false } in
         let t0 = Lfs_disk.Io.now_us lfs_io in
         let cp_fs =
@@ -834,27 +838,44 @@ let run_ablation_recovery () =
         in
         W.Driver.sanitize ffs_inst;
         let dur us = Format.asprintf "%a" Lfs_disk.Clock.pp_duration_us us in
+        let entry =
+          J.Obj
+            [
+              ("files", J.Int nfiles);
+              ("lfs_checkpoint_us", J.Int cp_us);
+              ("lfs_rollforward_us", J.Int rf_us);
+              ("segments_replayed", J.Int segments_replayed);
+              ("ffs_fsck_us", J.Int report.Lfs_ffs.Fsck.elapsed_us);
+              ( "fsck_over_rollforward",
+                J.Float
+                  (float_of_int report.Lfs_ffs.Fsck.elapsed_us
+                  /. float_of_int (max 1 rf_us)) );
+            ]
+        in
         [
-          [
-            string_of_int nfiles;
-            dur cp_us;
-            dur rf_us;
-            dur report.Lfs_ffs.Fsck.elapsed_us;
-            Lfs_util.Table.fmt_ratio
-              (float_of_int report.Lfs_ffs.Fsck.elapsed_us
-              /. float_of_int (max 1 rf_us));
-          ];
+          ( entry,
+            [
+              string_of_int nfiles;
+              dur cp_us;
+              dur rf_us;
+              string_of_int segments_replayed;
+              dur report.Lfs_ffs.Fsck.elapsed_us;
+              Lfs_util.Table.fmt_ratio
+                (float_of_int report.Lfs_ffs.Fsck.elapsed_us
+                /. float_of_int (max 1 rf_us));
+            ] );
         ])
       cases
   in
+  add_figure "recovery" (J.List (List.map fst rows));
   print_string
     (Lfs_util.Table.render
        ~headers:
          [
-           "files"; "LFS (checkpoint only)"; "LFS (roll-forward)"; "FFS fsck";
-           "fsck / LFS-rf";
+           "files"; "LFS (checkpoint only)"; "LFS (roll-forward)";
+           "segments replayed"; "FFS fsck"; "fsck / LFS-rf";
          ]
-       rows)
+       (List.map snd rows))
 
 (* ------------------------------------------------------------------ *)
 
@@ -961,6 +982,11 @@ let run_check_json file =
       "seq_reread_kbs";
     ];
   check_entries "fig5" [ "utilization"; "clean_kb_per_sec"; "write_cost" ];
+  check_entries "recovery"
+    [
+      "files"; "lfs_checkpoint_us"; "lfs_rollforward_us"; "segments_replayed";
+      "ffs_fsck_us"; "fsck_over_rollforward";
+    ];
   check_entries "readahead"
     [
       "base_reads"; "base_kbs"; "clustered_reads"; "clustered_kbs";

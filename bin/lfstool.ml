@@ -383,6 +383,149 @@ let cmd_trace image with_ffs ops =
         trace_instance (Lfs_vfs.Fs_intf.Instance ((module Lfs_ffs.Fs), ffs)) ops
   end
 
+(* Fault-injection sweep: crash a scratch workload at every write
+   boundary on both systems, tear the crashing write on LFS, inject
+   transient read errors into a full read-back, and mark checkpoint
+   region A sticky-bad.  No image argument — every replay runs on a
+   fresh in-memory stack.  Exits non-zero if any replay recovers to a
+   state that violates the durable model. *)
+
+module Crashpoint = Lfs_workload.Crashpoint
+
+let cmd_crashtest json files size seed =
+  let ops = Crashpoint.smallfile ~files ~size () in
+  let sweeps =
+    [
+      Crashpoint.sweep ~seed `Lfs ops;
+      Crashpoint.sweep ~seed `Ffs ops;
+      Crashpoint.sweep ~torn:true ~seed `Lfs ops;
+    ]
+  in
+  let reads =
+    List.map
+      (fun sys ->
+        (sys, Crashpoint.read_fault_run ~rate:0.2 ~seed:(seed + 4) sys ops))
+      ([ `Lfs; `Ffs ] : Crashpoint.system list)
+  in
+  let bad = Crashpoint.bad_sector_run ~seed:(seed + 6) () in
+  let sum f l = List.fold_left (fun acc x -> acc + f x) 0 l in
+  let crashed_points (o : Crashpoint.outcome) =
+    List.filter (fun p -> p.Crashpoint.crashed) o.Crashpoint.points
+  in
+  let crashed o = List.length (crashed_points o) in
+  let mean f o =
+    match crashed_points o with
+    | [] -> 0
+    | pts -> sum f pts / List.length pts
+  in
+  let kinds =
+    [
+      ("crash", sum crashed sweeps);
+      ( "torn_write",
+        sum crashed (List.filter (fun o -> o.Crashpoint.torn) sweeps) );
+      ("read_error", sum (fun (_, r) -> r.Crashpoint.read_errors) reads);
+      ("bad_sector", bad.Crashpoint.bad_sector_reads);
+    ]
+  in
+  let violations =
+    List.concat_map (fun o -> o.Crashpoint.violations) sweeps
+    @ List.concat_map (fun (_, r) -> r.Crashpoint.rf_violations) reads
+    @ bad.Crashpoint.bs_violations
+  in
+  let strings l = Json.List (List.map (fun s -> Json.String s) l) in
+  if json then
+    print_endline
+      (Json.to_string_pretty
+         (Json.Obj
+            [
+              ("schema", Json.String "lfs-crashtest/1");
+              ("ops", Json.Int (List.length ops));
+              ( "fault_kinds",
+                Json.List
+                  (List.map
+                     (fun (kind, faults) ->
+                       Json.Obj
+                         [
+                           ("kind", Json.String kind);
+                           ("faults", Json.Int faults);
+                         ])
+                     kinds) );
+              ( "sweeps",
+                Json.List
+                  (List.map
+                     (fun (o : Crashpoint.outcome) ->
+                       Json.Obj
+                         [
+                           ("label", Json.String o.Crashpoint.label);
+                           ("torn", Json.Bool o.Crashpoint.torn);
+                           ("total_writes", Json.Int o.Crashpoint.total_writes);
+                           ( "boundaries_tested",
+                             Json.Int o.Crashpoint.boundaries_tested );
+                           ("faults", Json.Int o.Crashpoint.faults);
+                           ( "mean_recovery_us",
+                             Json.Int (mean (fun p -> p.Crashpoint.recovery_us) o)
+                           );
+                           ( "mean_recovery_reads",
+                             Json.Int
+                               (mean (fun p -> p.Crashpoint.recovery_reads) o) );
+                           ("violations", strings o.Crashpoint.violations);
+                         ])
+                     sweeps) );
+              ( "read_faults",
+                Json.List
+                  (List.map
+                     (fun (sys, r) ->
+                       Json.Obj
+                         [
+                           ( "system",
+                             Json.String (Crashpoint.system_name sys) );
+                           ("retries", Json.Int r.Crashpoint.retries);
+                           ("backoff_us", Json.Int r.Crashpoint.backoff_us);
+                           ("read_errors", Json.Int r.Crashpoint.read_errors);
+                           ("violations", strings r.Crashpoint.rf_violations);
+                         ])
+                     reads) );
+              ( "bad_sector",
+                Json.Obj
+                  [
+                    ( "bad_sector_reads",
+                      Json.Int bad.Crashpoint.bad_sector_reads );
+                    ("violations", strings bad.Crashpoint.bs_violations);
+                  ] );
+              ("violations", Json.Int (List.length violations));
+              ("clean", Json.Bool (violations = []));
+            ]))
+  else begin
+    Printf.printf "crashtest: %d-op workload (%d files)\n" (List.length ops)
+      files;
+    List.iter
+      (fun (o : Crashpoint.outcome) ->
+        Printf.printf
+          "sweep %-3s%s : %d/%d boundaries crashed, %d faults, mean recovery \
+           %d us / %d reads\n"
+          o.Crashpoint.label
+          (if o.Crashpoint.torn then " torn" else "     ")
+          (crashed o) o.Crashpoint.boundaries_tested o.Crashpoint.faults
+          (mean (fun p -> p.Crashpoint.recovery_us) o)
+          (mean (fun p -> p.Crashpoint.recovery_reads) o))
+      sweeps;
+    List.iter
+      (fun (sys, r) ->
+        Printf.printf
+          "read faults %-3s: %d injected, %d retries, %d us backoff\n"
+          (Crashpoint.system_name sys)
+          r.Crashpoint.read_errors r.Crashpoint.retries
+          r.Crashpoint.backoff_us)
+      reads;
+    Printf.printf "bad sector     : %d faulted reads\n"
+      bad.Crashpoint.bad_sector_reads;
+    List.iter (fun v -> Printf.printf "violation: %s\n" v) violations;
+    Printf.printf "crashtest: %d fault kinds, %d violations\n"
+      (List.length (List.filter (fun (_, n) -> n > 0) kinds))
+      (List.length violations)
+  end;
+  if violations <> [] then exit 1
+
 (* Cmdliner plumbing *)
 
 open Cmdliner
@@ -480,6 +623,35 @@ let () =
                the image in memory and emit the trace-bus events as \
                JSONL.  The image file is not modified.")
          Term.(const cmd_trace $ image $ with_ffs $ ops));
+      (let json =
+         Arg.(
+           value & flag
+           & info [ "json" ] ~doc:"Emit the crash-test report as JSON.")
+       in
+       let files =
+         Arg.(
+           value & opt int 6
+           & info [ "files" ] ~doc:"Files in the scratch workload.")
+       in
+       let size =
+         Arg.(
+           value & opt int 2048
+           & info [ "file-size" ] ~doc:"Base file size in bytes.")
+       in
+       let seed =
+         Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Fault-injection seed.")
+       in
+       Cmd.v
+         (Cmd.info "crashtest"
+            ~doc:
+              "Run the fault-injection recovery sweeps on scratch \
+               in-memory stacks (no image needed): crash at every write \
+               boundary of a small workload on both LFS and FFS, tear \
+               the crashing write on LFS, inject transient read errors \
+               into a full read-back, and mark LFS checkpoint region A \
+               sticky-bad so recovery must fall back to region B.  \
+               Exits non-zero if any replay violates the durable model.")
+         Term.(const cmd_crashtest $ json $ files $ size $ seed));
     ]
   in
   exit

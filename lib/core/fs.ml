@@ -373,7 +373,22 @@ let mount ?(config = Config.default) io =
      block; decoding tolerates trailing data). *)
   let sector_size = geometry.Lfs_disk.Geometry.sector_size in
   let count = min geometry.Lfs_disk.Geometry.sectors (65536 / sector_size) in
-  let sb = Io.sync_read io ~sector:0 ~count in
+  let sb =
+    try Io.sync_read io ~sector:0 ~count
+    with Io.Read_failed _ ->
+      (* A bad sector elsewhere in the generous window must not take the
+         mount down.  Reassemble it sector by sector, zero-filling what
+         the device cannot deliver: the CRC covers only the superblock
+         block itself, so an unreadable sector there surfaces as a
+         decode error below, and garbage anywhere else is ignored. *)
+      let buf = Bytes.make (count * sector_size) '\000' in
+      for s = 0 to count - 1 do
+        match Io.sync_read io ~sector:s ~count:1 with
+        | data -> Bytes.blit data 0 buf (s * sector_size) sector_size
+        | exception Io.Read_failed _ -> ()
+      done;
+      buf
+  in
   match Layout.decode_superblock sb geometry with
   | Error _ as e -> e
   | Ok layout ->

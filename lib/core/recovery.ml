@@ -16,12 +16,15 @@ let read_region (st : State.t) which =
     if which = `A then fst layout.Layout.cp_region
     else snd layout.Layout.cp_region
   in
-  let region =
+  (* An unreadable region is no worse than a torn one: fall back to the
+     other checkpoint copy. *)
+  match
     Io.sync_read st.io
       ~sector:(Layout.sector_of_block layout addr)
       ~count:(layout.Layout.cp_blocks * layout.Layout.block_sectors)
-  in
-  Checkpoint.decode layout region
+  with
+  | region -> Checkpoint.decode layout region
+  | exception Io.Read_failed _ -> None
 
 let load_checkpoint (st : State.t) (cp : Checkpoint.t) =
   (* A metadata block the checkpoint points at may have been clobbered:
@@ -29,7 +32,9 @@ let load_checkpoint (st : State.t) (cp : Checkpoint.t) =
      without rewriting the checkpoint region (roll-forward replays the
      moved copies, which are always durable before the old segment is
      reused).  Tolerate garbage here; the replay below repairs it. *)
-  let tolerant f = try f () with Lfs_util.Codec.Error _ -> () in
+  let tolerant f =
+    try f () with Lfs_util.Codec.Error _ | Io.Read_failed _ -> ()
+  in
   Array.iteri
     (fun idx addr ->
       if addr <> Layout.null_addr then
@@ -119,7 +124,13 @@ let roll_forward (st : State.t) ~from_seq =
   let candidates = ref [] in
   for seg = 0 to layout.Layout.nsegments - 1 do
     let first = Layout.segment_first_block layout seg in
-    match Summary.decode (read_summary_region st first) with
+    (* A summary region that cannot be read (or decoded: a torn tail
+       write leaves a bad CRC) simply offers no candidate — the log is
+       truncated at the last valid summary. *)
+    match
+      try Summary.decode (read_summary_region st first)
+      with Io.Read_failed _ -> None
+    with
     | Some (header, entries) when header.Summary.seq > from_seq ->
         candidates := (header.Summary.seq, seg, header, entries) :: !candidates
     | Some _ | None -> ()
@@ -133,23 +144,26 @@ let roll_forward (st : State.t) ~from_seq =
       if (not !stop) && seq = !expected then begin
         let first = Layout.segment_first_block layout seg in
         let payload =
-          if header.Summary.nblocks = 0 then Bytes.create 0
+          if header.Summary.nblocks = 0 then Some (Bytes.create 0)
           else
-            Io.sync_read st.io
-              ~sector:
-                (Layout.sector_of_block layout
-                   (first + layout.Layout.summary_blocks))
-              ~count:(header.Summary.nblocks * layout.Layout.block_sectors)
+            try
+              Some
+                (Io.sync_read st.io
+                   ~sector:
+                     (Layout.sector_of_block layout
+                        (first + layout.Layout.summary_blocks))
+                   ~count:(header.Summary.nblocks * layout.Layout.block_sectors))
+            with Io.Read_failed _ -> None
         in
-        if
-          Summary.payload_crc payload ~off:0 ~len:(Bytes.length payload)
-          = header.Summary.payload_crc
-        then begin
-          replay_segment st seg header entries payload;
-          replayed := seg :: !replayed;
-          incr expected
-        end
-        else stop := true (* torn segment write: end of recoverable log *)
+        match payload with
+        | Some payload
+          when Summary.payload_crc payload ~off:0 ~len:(Bytes.length payload)
+               = header.Summary.payload_crc ->
+            replay_segment st seg header entries payload;
+            replayed := seg :: !replayed;
+            incr expected
+        | Some _ | None ->
+            stop := true (* torn or unreadable: end of recoverable log *)
       end
       else stop := true)
     ordered;

@@ -1,6 +1,12 @@
 module Metrics = Lfs_obs.Metrics
 
 exception Crash
+exception Read_fault of { sector : int; transient : bool }
+
+type fault_hook = {
+  on_read : sector:int -> count:int -> unit;
+  on_write : sector:int -> count:int -> int option;
+}
 
 type stats = {
   mutable reads : int;
@@ -27,6 +33,7 @@ type t = {
   mutable last_streamed : bool;  (* last request continued the previous one *)
   mutable crash_countdown : int option;
   mutable crashed : bool;
+  mutable fault_hook : fault_hook option;
 }
 
 let create geometry =
@@ -47,7 +54,10 @@ let create geometry =
     last_streamed = false;
     crash_countdown = None;
     crashed = false;
+    fault_hook = None;
   }
+
+let set_fault_hook t hook = t.fault_hook <- hook
 
 let geometry t = t.geometry
 let metrics t = t.metrics
@@ -118,6 +128,9 @@ let service ?start_us t ~sector ~count =
 
 let read ?start_us t ~sector ~count =
   check_range t sector count;
+  (match t.fault_hook with
+  | Some h -> h.on_read ~sector ~count
+  | None -> ());
   let us = service ?start_us t ~sector ~count in
   Metrics.incr t.c_reads;
   Metrics.add t.c_sectors_read count;
@@ -132,6 +145,18 @@ let write ?start_us t ~sector data =
     invalid_arg "Disk.write: data must be a positive multiple of sector size";
   let count = Bytes.length data / ss in
   check_range t sector count;
+  (match t.fault_hook with
+  | Some h -> (
+      match h.on_write ~sector ~count with
+      | Some persisted ->
+          (* Scenario-driven torn write: a prefix of the request reaches
+             the platter, then power is cut. *)
+          let p = max 0 (min persisted count) in
+          Bytes.blit data 0 t.store (sector * ss) (p * ss);
+          t.crashed <- true;
+          raise Crash
+      | None -> ())
+  | None -> ());
   let persisted =
     match t.crash_countdown with
     | None -> count

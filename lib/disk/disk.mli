@@ -14,6 +14,26 @@
 exception Crash
 (** Raised by a write when the armed crash point is reached. *)
 
+exception Read_fault of { sector : int; transient : bool }
+(** Raised by a read when an installed fault hook fails the request:
+    [transient] faults may succeed on retry (media hiccup), sticky ones
+    never do (bad sector).  The {!Io} scheduler owns the retry/backoff
+    policy and converts budget exhaustion into its own typed error. *)
+
+type fault_hook = {
+  on_read : sector:int -> count:int -> unit;
+      (** Called before a read is serviced; raise {!Read_fault} to fail
+          the request. *)
+  on_write : sector:int -> count:int -> int option;
+      (** Called before a write is serviced.  [Some persisted] tears the
+          request — only the first [persisted] sectors reach the media —
+          marks the disk crashed and raises {!Crash}; [None] lets the
+          write proceed. *)
+}
+(** Scenario-driven fault injection, installed by {!Faulty}.  The hook
+    sees every request after range validation and before any service-time
+    accounting, so failed attempts cost nothing at the device level. *)
+
 type t
 
 type stats = {
@@ -27,6 +47,9 @@ type stats = {
 
 val create : Geometry.t -> t
 val geometry : t -> Geometry.t
+
+val set_fault_hook : t -> fault_hook option -> unit
+(** Install (or clear) the fault hook.  At most one hook is active. *)
 
 val metrics : t -> Lfs_obs.Metrics.t
 (** The metrics registry owned by this disk's I/O stack.  The disk

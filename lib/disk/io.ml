@@ -12,6 +12,8 @@ type request = {
   sequential : bool;
 }
 
+exception Read_failed of { sector : int; attempts : int }
+
 type t = {
   disk : Disk.t;
   clock : Clock.t;
@@ -24,15 +26,22 @@ type t = {
   c_clustered_read_blocks : Metrics.counter;
   c_clustered_writes : Metrics.counter;
   c_clustered_write_blocks : Metrics.counter;
+  c_retries : Metrics.counter;
+  c_backoff_us : Metrics.counter;
   max_backlog_us : int;
+  read_attempts : int;
+  retry_backoff_us : int;
   mutable busy_until_us : int;
   mutable audit : Bus.sink option;  (* the legacy request log, as a sink *)
 }
 
 let is_disk_request = function Event.Disk_request _ -> true | _ -> false
 
-let create ?(max_backlog_us = 2_000_000) disk clock cpu =
+let create ?(max_backlog_us = 2_000_000) ?(read_attempts = 4)
+    ?(retry_backoff_us = 1_000) disk clock cpu =
   if max_backlog_us < 0 then invalid_arg "Io.create: negative backlog";
+  if read_attempts < 1 then invalid_arg "Io.create: read_attempts < 1";
+  if retry_backoff_us < 0 then invalid_arg "Io.create: negative backoff";
   let metrics = Disk.metrics disk in
   {
     disk;
@@ -47,10 +56,19 @@ let create ?(max_backlog_us = 2_000_000) disk clock cpu =
     c_clustered_writes = Metrics.counter metrics "io.clustered_writes";
     c_clustered_write_blocks =
       Metrics.counter metrics "io.clustered_write_blocks";
+    c_retries = Metrics.counter metrics "io.retries";
+    c_backoff_us = Metrics.counter metrics "io.backoff_us";
     max_backlog_us;
+    read_attempts;
+    retry_backoff_us;
     busy_until_us = 0;
     audit = None;
   }
+
+let of_geometry ?max_backlog_us ?read_attempts ?retry_backoff_us geometry clock
+    cpu =
+  create ?max_backlog_us ?read_attempts ?retry_backoff_us
+    (Disk.create geometry) clock cpu
 
 let disk t = t.disk
 let clock t = t.clock
@@ -87,14 +105,31 @@ let sector_size t = (Disk.geometry t.disk).Geometry.sector_size
    the caller and the device are ready. *)
 let start_time t = max (now_us t) t.busy_until_us
 
+(* A failed read attempt costs only the retry backoff: the fault hook
+   rejects the request before the device computes a service time, so the
+   head never moves and the clock advances by the (exponentially
+   growing) wait between attempts. *)
 let sync_read t ~sector ~count =
-  let start = start_time t in
-  let data, service_us = Disk.read ~start_us:start t.disk ~sector ~count in
-  let sequential = Disk.last_was_streamed t.disk in
-  record t ~kind:`Read ~sync:true ~sector ~sectors:count ~service_us ~sequential;
-  Clock.advance_to_us t.clock (start + service_us);
-  t.busy_until_us <- Clock.now_us t.clock;
-  data
+  let rec attempt n =
+    match Disk.read ~start_us:(start_time t) t.disk ~sector ~count with
+    | data, service_us ->
+        let sequential = Disk.last_was_streamed t.disk in
+        record t ~kind:`Read ~sync:true ~sector ~sectors:count ~service_us
+          ~sequential;
+        Clock.advance_to_us t.clock (start_time t + service_us);
+        t.busy_until_us <- Clock.now_us t.clock;
+        data
+    | exception Disk.Read_fault _ ->
+        if n >= t.read_attempts then raise (Read_failed { sector; attempts = n })
+        else begin
+          Metrics.incr t.c_retries;
+          let backoff = t.retry_backoff_us * (1 lsl (n - 1)) in
+          Metrics.add t.c_backoff_us backoff;
+          Clock.advance_us t.clock backoff;
+          attempt (n + 1)
+        end
+  in
+  attempt 1
 
 let sync_write t ~sector data =
   let start = start_time t in
@@ -126,6 +161,9 @@ let note_clustered_write t ~blocks =
   Metrics.add t.c_clustered_write_blocks blocks
 
 let drain t = Clock.advance_to_us t.clock t.busy_until_us
+let disk_stats t = Disk.stats t.disk
+let snapshot_media t = Disk.snapshot t.disk
+let restore_media t media = Disk.restore t.disk media
 
 let backlog_us t = max 0 (t.busy_until_us - Clock.now_us t.clock)
 

@@ -34,9 +34,37 @@ type request = {
           delay (neither seek nor rotational latency) *)
 }
 
-val create : ?max_backlog_us:int -> Disk.t -> Clock.t -> Cpu_model.t -> t
+exception Read_failed of { sector : int; attempts : int }
+(** A read kept failing ({!Disk.Read_fault}) until the retry budget ran
+    out: the typed surface of an unrecoverable media error.  [attempts]
+    counts every try, including the first. *)
+
+val create :
+  ?max_backlog_us:int ->
+  ?read_attempts:int ->
+  ?retry_backoff_us:int ->
+  Disk.t ->
+  Clock.t ->
+  Cpu_model.t ->
+  t
 (** Default backlog: 2 s of queued device time (roughly two segment
-    writes ahead on the paper's disk). *)
+    writes ahead on the paper's disk).
+
+    [read_attempts] (default 4) bounds how often {!sync_read} tries a
+    request that fails with {!Disk.Read_fault}; each retry first waits
+    [retry_backoff_us] (default 1 ms) doubled per attempt on the
+    simulated clock, accounted in [io.retries]/[io.backoff_us]. *)
+
+val of_geometry :
+  ?max_backlog_us:int ->
+  ?read_attempts:int ->
+  ?retry_backoff_us:int ->
+  Geometry.t ->
+  Clock.t ->
+  Cpu_model.t ->
+  t
+(** [create] over a fresh {!Disk.create} — lets workload/bench code build
+    a whole stack without touching [Disk] directly. *)
 
 val disk : t -> Disk.t
 val clock : t -> Clock.t
@@ -61,10 +89,24 @@ val charge_lookup : t -> unit
 (** {1 Disk requests} *)
 
 val sync_read : t -> sector:int -> count:int -> bytes
+(** @raise Read_failed when the request still fails after the configured
+    number of attempts (see {!create}). *)
+
 val sync_write : t -> sector:int -> bytes -> unit
 val async_write : t -> sector:int -> bytes -> unit
 val drain : t -> unit
 (** Advance the clock until the device is idle. *)
+
+val disk_stats : t -> Disk.stats
+(** [Disk.stats (disk t)] — the sanctioned way for workloads and bench
+    code to read device counters without naming [Disk]. *)
+
+val snapshot_media : t -> bytes
+(** Copy of the underlying media ({!Disk.snapshot}). *)
+
+val restore_media : t -> bytes -> unit
+(** Overwrite the media from a snapshot ({!Disk.restore}); device head
+    state is reset. *)
 
 val note_clustered_read : t -> blocks:int -> unit
 (** Account one multi-block read request that replaced [blocks]

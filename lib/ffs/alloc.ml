@@ -32,6 +32,31 @@ let create (l : Layout.t) =
   Bitset.set t.inode_maps.(0) 0;
   t
 
+(* Crash repair: fsck rebuilds both bitmaps from scratch, re-marking what
+   the inode table and the reachable block pointers prove allocated. *)
+
+let reset t =
+  let l = t.layout in
+  for g = 0 to l.Layout.ngroups - 1 do
+    t.block_maps.(g) <- Bitset.create l.Layout.group_blocks;
+    t.inode_maps.(g) <- Bitset.create l.Layout.inodes_per_group;
+    for i = 0 to meta_blocks l - 1 do
+      Bitset.set t.block_maps.(g) i
+    done;
+    t.dirty.(g) <- true
+  done;
+  Bitset.set t.inode_maps.(0) 0
+
+let mark_inode t inum =
+  let g = Layout.group_of_inum t.layout inum in
+  Bitset.set t.inode_maps.(g) (inum mod t.layout.Layout.inodes_per_group);
+  t.dirty.(g) <- true
+
+let mark_block t addr =
+  let g = Layout.group_of_block t.layout addr in
+  Bitset.set t.block_maps.(g) (addr - Layout.group_first_block t.layout g);
+  t.dirty.(g) <- true
+
 (* Inodes *)
 
 let inode_allocated t inum =

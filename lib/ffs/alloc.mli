@@ -13,6 +13,18 @@ val create : Layout.t -> t
 
 val layout : t -> Layout.t
 
+(** {1 Crash repair}
+
+    After an unclean shutdown the on-disk bitmaps are whatever the last
+    sync left behind; fsck-style repair rebuilds them from ground truth:
+    [reset] back to the freshly-created state (metadata blocks + the null
+    inum), then [mark_inode]/[mark_block] for everything the full-disk
+    scan proves live. *)
+
+val reset : t -> unit
+val mark_inode : t -> int -> unit
+val mark_block : t -> int -> unit
+
 (** {1 Inodes} *)
 
 val alloc_inode : t -> group:int -> spread:bool -> int option

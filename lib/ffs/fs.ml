@@ -1154,6 +1154,200 @@ let fsck t =
 
 let integrity t = List.map (Format.asprintf "%a" pp_issue) (fsck t)
 
+(* --- Crash repair ---------------------------------------------------- *)
+
+(* fsck-style repair after an unclean shutdown.  Update-in-place leaves
+   no log to replay: the bitmaps on disk are whatever the last sync wrote
+   (stale), directory blocks may be torn mid-sector, and inode slots may
+   disagree with both.  The only ground truth is the inode table plus the
+   reachable directory tree, so — exactly as the paper says of FFS — the
+   whole disk must be scanned:
+
+   1. every inode-table slot is decoded (garbage slots cleared), and the
+      inode bitmaps rebuilt from the survivors;
+   2. the namespace is walked from the root, salvaging unparseable
+      (torn) directory blocks as empty, pruning entries whose inode did
+      not survive, fixing link counts and releasing orphan inodes;
+   3. the block bitmaps are rebuilt from the survivors' pointers,
+      clearing bogus (out-of-range, doubly-claimed or beyond-size)
+      pointers along the way.
+
+   Returns a human-readable line per repair made.  Contrast
+   [Lfs_core.Recovery]: LFS reads two checkpoint regions and the log
+   tail; this reads every inode table and directory block on disk. *)
+let repair t =
+  let l = t.layout in
+  let repairs = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> repairs := s :: !repairs) fmt in
+  Hashtbl.reset t.itable;
+  (* Pass 1: the inode table decides which inodes exist. *)
+  let valid = Array.make l.Layout.max_files false in
+  for inum = 1 to l.Layout.max_files - 1 do
+    let addr, slot = Layout.inode_location l inum in
+    let block = read_raw t addr in
+    match Inode.decode_at block ~off:(slot * Layout.inode_bytes) with
+    | Some ino when ino.Inode.inum = inum -> valid.(inum) <- true
+    | None -> ()
+    | Some _ | (exception Lfs_util.Codec.Error _) ->
+        note "inum %d: cleared garbage inode slot" inum;
+        store_inode t None ~inum ~mode:`Async
+  done;
+  if not valid.(t.root) then failwith "FFS repair: root inode lost";
+  Alloc.reset t.alloc;
+  for inum = 1 to l.Layout.max_files - 1 do
+    if valid.(inum) then Alloc.mark_inode t.alloc inum
+  done;
+  (* Pass 2: walk the namespace; salvage torn directory blocks, prune
+     entries to dead inodes, then fix nlink and release orphans. *)
+  let links = Hashtbl.create 256 in
+  let visited = Hashtbl.create 256 in
+  let rec walk dir =
+    if not (Hashtbl.mem visited dir) then begin
+      Hashtbl.replace visited dir ();
+      let e = get_entry t dir in
+      for blk = 0 to dir_nblocks t e - 1 do
+        let entries =
+          try read_dir_block t e blk
+          with Lfs_util.Codec.Error _ | Io.Read_failed _ ->
+            note "inum %d: salvaged torn directory block %d" dir blk;
+            write_dir_block t e blk [] ~sync_write:false;
+            []
+        in
+        let keep, drop =
+          List.partition
+            (fun (_, inum) ->
+              inum > 0 && inum < l.Layout.max_files && valid.(inum))
+            entries
+        in
+        if drop <> [] then begin
+          List.iter
+            (fun (name, inum) ->
+              note "inum %d: pruned dangling entry %S -> inum %d" dir name inum)
+            drop;
+          write_dir_block t e blk keep ~sync_write:false
+        end;
+        List.iter
+          (fun (_, inum) ->
+            Hashtbl.replace links inum
+              (1 + Option.value ~default:0 (Hashtbl.find_opt links inum));
+            if (get_entry t inum).ino.Inode.kind = Fs_intf.Directory then
+              walk inum)
+          keep
+      done
+    end
+  in
+  Hashtbl.replace links t.root 1;
+  walk t.root;
+  for inum = 1 to l.Layout.max_files - 1 do
+    if valid.(inum) && not (Hashtbl.mem links inum) then begin
+      note "inum %d: released orphan inode" inum;
+      valid.(inum) <- false;
+      Alloc.free_inode t.alloc inum;
+      Hashtbl.remove t.itable inum;
+      store_inode t None ~inum ~mode:`Async
+    end
+  done;
+  Hashtbl.iter
+    (fun inum count ->
+      if valid.(inum) then begin
+        let e = get_entry t inum in
+        if e.ino.Inode.nlink <> count then begin
+          note "inum %d: nlink %d -> %d" inum e.ino.Inode.nlink count;
+          e.ino.Inode.nlink <- count;
+          e.dirty <- true
+        end
+      end)
+    links;
+  (* Pass 3: rebuild the block bitmaps from the survivors, mirroring
+     exactly what [fsck] counts as referenced so the result audits
+     clean.  A pointer that is out of range, already claimed, or beyond
+     the inode's size is bogus — clear it. *)
+  let data_first g = Layout.group_first_block l g + meta_blocks_per_group l in
+  let in_data_range addr =
+    addr >= 1
+    && addr < l.Layout.total_blocks
+    && addr >= data_first (Layout.group_of_block l addr)
+  in
+  let owned = Hashtbl.create 1024 in
+  let claim addr =
+    if addr = Layout.null_addr then `Null
+    else if (not (in_data_range addr)) || Hashtbl.mem owned addr then `Bogus
+    else begin
+      Hashtbl.replace owned addr ();
+      Alloc.mark_block t.alloc addr;
+      `Ok
+    end
+  in
+  let p = Layout.ptrs_per_block l in
+  for inum = 1 to l.Layout.max_files - 1 do
+    if valid.(inum) then begin
+      let e = get_entry t inum in
+      let ino = e.ino in
+      let nblocks = Inode.nblocks ~block_size:l.Layout.block_size ino in
+      let claim_slot ~blkno ~what addr clear =
+        if blkno >= nblocks then begin
+          if addr <> Layout.null_addr then begin
+            note "inum %d: cleared %s beyond size" inum what;
+            clear ();
+            e.dirty <- true
+          end
+        end
+        else
+          match claim addr with
+          | `Bogus ->
+              note "inum %d: cleared bogus %s" inum what;
+              clear ();
+              e.dirty <- true
+          | `Ok | `Null -> ()
+      in
+      for i = 0 to Inode.ndirect - 1 do
+        claim_slot ~blkno:i
+          ~what:(Printf.sprintf "direct pointer %d" i)
+          ino.Inode.direct.(i)
+          (fun () -> ino.Inode.direct.(i) <- Layout.null_addr)
+      done;
+      (match claim ino.Inode.indirect with
+      | `Bogus ->
+          note "inum %d: cleared bogus indirect pointer" inum;
+          ino.Inode.indirect <- Layout.null_addr;
+          e.dirty <- true
+      | `Null -> ()
+      | `Ok ->
+          for idx = 0 to p - 1 do
+            claim_slot ~blkno:(Inode.ndirect + idx)
+              ~what:(Printf.sprintf "indirect slot %d" idx)
+              (read_ptr t ino.Inode.indirect idx)
+              (fun () -> write_ptr t ino.Inode.indirect idx Layout.null_addr)
+          done);
+      match claim ino.Inode.dindirect with
+      | `Bogus ->
+          note "inum %d: cleared bogus dindirect pointer" inum;
+          ino.Inode.dindirect <- Layout.null_addr;
+          e.dirty <- true
+      | `Null -> ()
+      | `Ok ->
+          for child = 0 to p - 1 do
+            match claim (read_ptr t ino.Inode.dindirect child) with
+            | `Bogus ->
+                note "inum %d: cleared bogus dindirect child %d" inum child;
+                write_ptr t ino.Inode.dindirect child Layout.null_addr
+            | `Null -> ()
+            | `Ok ->
+                let ca = read_ptr t ino.Inode.dindirect child in
+                for idx = 0 to p - 1 do
+                  claim_slot
+                    ~blkno:(Inode.ndirect + p + (child * p) + idx)
+                    ~what:
+                      (Printf.sprintf "dindirect slot %d of child %d" idx child)
+                    (read_ptr t ca idx)
+                    (fun () -> write_ptr t ca idx Layout.null_addr)
+                done
+          done
+    end
+  done;
+  do_sync t;
+  List.rev !repairs
+
 (* Checker/test support *)
 
 let alloc t = t.alloc

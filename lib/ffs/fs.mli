@@ -82,6 +82,18 @@ val integrity : t -> string list
 (** {!fsck} rendered with {!pp_issue} — the {!Lfs_vfs.Fs_intf.S}
     sanitizer hook. *)
 
+val repair : t -> string list
+(** fsck-style crash repair, to run right after {!mount}ing a disk that
+    was not cleanly unmounted: decode every inode-table slot, rebuild
+    both cylinder-group bitmaps from the survivors, walk the namespace
+    salvaging torn directory blocks and pruning dangling entries, fix
+    link counts, release orphans, clear bogus block pointers, then sync.
+    Returns one line per repair made; after it, {!fsck} is clean.
+
+    This is the full-disk scan the paper contrasts with LFS's bounded
+    roll-forward — its cost grows with the disk, not with the log tail.
+    @raise Failure if the root inode itself did not survive. *)
+
 (** {1 Checker/test support} *)
 
 val root_inum : int

@@ -24,6 +24,7 @@ type t =
   | Checkpoint of { seq : int; region : int (* 0 = A, 1 = B *) }
   | Rollforward of { seg : int; seq : int; entries : int }
   | Ffs_sync_write of { what : string; sector : int; sectors : int }
+  | Fault_injected of { kind : string; sector : int; sectors : int }
   | Span_begin of { name : string; depth : int }
   | Span_end of { name : string; depth : int; elapsed_us : int }
   | Note of { name : string; fields : (string * Json.t) list }
@@ -42,6 +43,7 @@ let name = function
   | Checkpoint _ -> "checkpoint"
   | Rollforward _ -> "rollforward"
   | Ffs_sync_write _ -> "ffs_sync_write"
+  | Fault_injected _ -> "fault_injected"
   | Span_begin _ -> "span_begin"
   | Span_end _ -> "span_end"
   | Note _ -> "note"
@@ -91,6 +93,12 @@ let fields = function
   | Ffs_sync_write { what; sector; sectors } ->
       [
         ("what", Json.String what);
+        ("sector", Json.Int sector);
+        ("sectors", Json.Int sectors);
+      ]
+  | Fault_injected { kind; sector; sectors } ->
+      [
+        ("kind", Json.String kind);
         ("sector", Json.Int sector);
         ("sectors", Json.Int sectors);
       ]

@@ -30,6 +30,11 @@ type t =
   | Checkpoint of { seq : int; region : int  (** 0 = A, 1 = B *) }
   | Rollforward of { seg : int; seq : int; entries : int }
   | Ffs_sync_write of { what : string; sector : int; sectors : int }
+  | Fault_injected of { kind : string; sector : int; sectors : int }
+      (** An injected fault from a {!Lfs_disk.Faulty} scenario: [kind] is
+          one of ["crash"], ["torn_write"], ["read_error"] or
+          ["bad_sector"]; [sector]/[sectors] locate the affected
+          request. *)
   | Span_begin of { name : string; depth : int }
   | Span_end of { name : string; depth : int; elapsed_us : int }
   | Note of { name : string; fields : (string * Json.t) list }

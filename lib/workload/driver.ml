@@ -36,6 +36,11 @@ let read (Fs_intf.Instance ((module F), fs)) path ~off ~len =
 let stat (Fs_intf.Instance ((module F), fs)) path =
   ok ("stat " ^ path) (F.stat fs path)
 
+let readdir (Fs_intf.Instance ((module F), fs)) path =
+  ok ("readdir " ^ path) (F.readdir fs path)
+
+let exists (Fs_intf.Instance ((module F), fs)) path = F.exists fs path
+
 let sync (Fs_intf.Instance ((module F), fs)) = F.sync fs
 let flush_caches (Fs_intf.Instance ((module F), fs)) = F.flush_caches fs
 

@@ -18,6 +18,8 @@ val delete : Lfs_vfs.Fs_intf.instance -> string -> unit
 val write : Lfs_vfs.Fs_intf.instance -> string -> off:int -> bytes -> unit
 val read : Lfs_vfs.Fs_intf.instance -> string -> off:int -> len:int -> bytes
 val stat : Lfs_vfs.Fs_intf.instance -> string -> Lfs_vfs.Fs_intf.stat
+val readdir : Lfs_vfs.Fs_intf.instance -> string -> string list
+val exists : Lfs_vfs.Fs_intf.instance -> string -> bool
 val sync : Lfs_vfs.Fs_intf.instance -> unit
 val flush_caches : Lfs_vfs.Fs_intf.instance -> unit
 

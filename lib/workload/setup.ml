@@ -3,7 +3,6 @@
 
 module Clock = Lfs_disk.Clock
 module Cpu_model = Lfs_disk.Cpu_model
-module Disk = Lfs_disk.Disk
 module Fs_intf = Lfs_vfs.Fs_intf
 module Geometry = Lfs_disk.Geometry
 module Io = Lfs_disk.Io
@@ -12,9 +11,7 @@ let default_disk_mb = 300
 
 let make_io ?(disk_mb = default_disk_mb) ?(cpu = Cpu_model.sun4_260) () =
   let geometry = Geometry.wren_iv ~size_bytes:(disk_mb * 1024 * 1024) in
-  let disk = Disk.create geometry in
-  let clock = Clock.create () in
-  Io.create disk clock cpu
+  Io.of_geometry geometry (Clock.create ()) cpu
 
 let lfs ?disk_mb ?cpu ?(config = Lfs_core.Config.default) () =
   let io = make_io ?disk_mb ?cpu () in

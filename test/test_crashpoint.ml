@@ -1,0 +1,175 @@
+(* The fault-injection layer and the crash-point recovery harness.
+
+   The sweeps here are the CI-pinned version of `lfstool crashtest`:
+   every write boundary of a small smallfile workload, on both systems,
+   must remount to a state the durable model accepts.  The remaining
+   cases cover the other fault kinds one by one: torn writes at the log
+   tail, transient read errors absorbed by retry/backoff, retry-budget
+   exhaustion surfacing as a typed error, and a sticky bad sector over a
+   checkpoint region. *)
+
+module Crashpoint = Lfs_workload.Crashpoint
+module Faulty = Lfs_disk.Faulty
+module Io = Lfs_disk.Io
+module Bus = Lfs_obs.Bus
+module Event = Lfs_obs.Event
+module Metrics = Lfs_obs.Metrics
+
+let ops = Crashpoint.smallfile ~files:4 ~size:1500 ()
+
+let fail_violations label = function
+  | [] -> ()
+  | vs -> Alcotest.failf "%s:\n  %s" label (String.concat "\n  " vs)
+
+let check_sweep ?torn sys =
+  let o = Crashpoint.sweep ?torn ~max_boundaries:256 sys ops in
+  fail_violations o.Crashpoint.label o.Crashpoint.violations;
+  if o.Crashpoint.total_writes = 0 then Alcotest.fail "workload never wrote";
+  (* Under the cap, so the sweep was exhaustive: every boundary tested. *)
+  Alcotest.(check int) "exhaustive" o.Crashpoint.total_writes
+    o.Crashpoint.boundaries_tested;
+  (* Each tested boundary must actually have cut the power. *)
+  List.iter
+    (fun (p : Crashpoint.point) ->
+      if not p.Crashpoint.crashed then
+        Alcotest.failf "boundary %d never crashed" p.Crashpoint.boundary)
+    o.Crashpoint.points;
+  if o.Crashpoint.faults < o.Crashpoint.boundaries_tested then
+    Alcotest.failf "only %d faults over %d replays" o.Crashpoint.faults
+      o.Crashpoint.boundaries_tested
+
+let test_sweep_lfs () = check_sweep `Lfs
+let test_sweep_ffs () = check_sweep `Ffs
+
+(* Torn variant: the crashing write persists a seeded sector prefix.
+   LFS-only — its log never overwrites live data, so durability must
+   hold; FFS update-in-place can legitimately tear a directory block
+   over durable entries (fsck's lost+found case). *)
+let test_torn_sweep_lfs () = check_sweep ~torn:true `Lfs
+
+let test_read_faults () =
+  List.iter
+    (fun sys ->
+      let o = Crashpoint.read_fault_run ~rate:0.15 ~burst:2 sys ops in
+      fail_violations
+        (Crashpoint.system_name sys ^ " read faults")
+        o.Crashpoint.rf_violations;
+      if o.Crashpoint.read_errors = 0 then Alcotest.fail "no faults injected";
+      (* Every injected fault costs one retry, and every retry backs
+         off. *)
+      if o.Crashpoint.retries < o.Crashpoint.read_errors then
+        Alcotest.failf "%d retries for %d injected faults"
+          o.Crashpoint.retries o.Crashpoint.read_errors;
+      if o.Crashpoint.backoff_us <= 0 then Alcotest.fail "no backoff recorded")
+    [ `Lfs; `Ffs ]
+
+let test_retry_exhaustion () =
+  let io = Common.make_io () in
+  let f = Faulty.attach io { Faulty.quiet with seed = 5; bad_sectors = [ 7 ] } in
+  (* A neighbouring read is unaffected by the sticky sector. *)
+  ignore (Io.sync_read io ~sector:8 ~count:1);
+  (match Io.sync_read io ~sector:7 ~count:1 with
+  | _ -> Alcotest.fail "read of a bad sector succeeded"
+  | exception Io.Read_failed { sector; attempts } ->
+      Alcotest.(check int) "failed sector" 7 sector;
+      Alcotest.(check int) "budget spent" 4 attempts);
+  let snap = Metrics.snapshot (Io.metrics io) in
+  let v name = Option.value ~default:0 (Metrics.counter_value snap name) in
+  (* 3 retries after the first attempt, exponential backoff 1+2+4 ms. *)
+  Alcotest.(check int) "io.retries" 3 (v "io.retries");
+  Alcotest.(check int) "io.backoff_us" 7000 (v "io.backoff_us");
+  Alcotest.(check int) "sticky faults" 4 (v "disk.faults.bad_sector_reads");
+  Faulty.detach f
+
+let test_transient_within_budget () =
+  let io = Common.make_io () in
+  let f =
+    Faulty.attach io
+      { Faulty.quiet with seed = 6; read_error_rate = 1.0; read_error_burst = 2 }
+  in
+  (* Every fresh request fails twice, then the third attempt goes
+     through — inside the default budget of 4. *)
+  ignore (Io.sync_read io ~sector:0 ~count:2);
+  let snap = Metrics.snapshot (Io.metrics io) in
+  let v name = Option.value ~default:0 (Metrics.counter_value snap name) in
+  Alcotest.(check int) "io.retries" 2 (v "io.retries");
+  Alcotest.(check int) "io.backoff_us" 3000 (v "io.backoff_us");
+  Alcotest.(check int) "transient faults" 2 (v "disk.faults.read_errors");
+  Faulty.detach f
+
+let test_bad_sector_checkpoint () =
+  let o = Crashpoint.bad_sector_run () in
+  fail_violations "bad sector over checkpoint A" o.Crashpoint.bs_violations;
+  if o.Crashpoint.bad_sector_reads = 0 then
+    Alcotest.fail "checkpoint region A was never read"
+
+(* Regression for torn-tail tolerance in Recovery: tear the segment
+   write at the log tail, then also make its summary region sticky-bad,
+   so roll-forward hits both a corrupt and an unreadable summary.  The
+   mount must succeed (truncating the log there) with all checkpointed
+   data intact, instead of letting Io.Read_failed escape. *)
+let test_torn_tail_summary () =
+  let fs = Common.make_lfs () in
+  let io = Lfs_core.Fs.io fs in
+  Common.write_file fs "/a" (Common.pattern ~seed:1 4000);
+  Lfs_core.Fs.sync fs;
+  Common.write_file fs "/b" (Common.pattern ~seed:2 4000);
+  let sink =
+    Bus.attach
+      ~filter:(function Event.Fault_injected _ -> true | _ -> false)
+      (Io.bus io)
+  in
+  let f =
+    Faulty.attach io
+      { Faulty.quiet with seed = 3; crash_after_writes = Some 0; torn_write = true }
+  in
+  (try
+     Lfs_core.Fs.sync fs;
+     Alcotest.fail "sync survived the armed crash"
+   with Faulty.Crash -> ());
+  let torn_sector =
+    match
+      List.filter_map
+        (fun (r : Event.record) ->
+          match r.Event.event with
+          | Event.Fault_injected { sector; _ } -> Some sector
+          | _ -> None)
+        (Bus.records sink)
+    with
+    | s :: _ -> s
+    | [] -> Alcotest.fail "no fault event on the bus"
+  in
+  Faulty.clear_crash f;
+  Faulty.detach f;
+  (* The torn request began with the segment summary; leaving its first
+     sector unreadable forces the Read_failed path through recovery. *)
+  let f2 =
+    Faulty.attach io { Faulty.quiet with seed = 4; bad_sectors = [ torn_sector ] }
+  in
+  (match Lfs_core.Fs.mount ~config:Common.small_config io with
+  | Error e -> Alcotest.failf "remount after torn tail failed: %s" e
+  | Ok fs2 ->
+      Common.check_bytes "checkpointed file survives"
+        (Common.pattern ~seed:1 4000)
+        (Common.check_ok "read /a" (Lfs_core.Fs.read fs2 "/a" ~off:0 ~len:4000));
+      Alcotest.(check bool) "unsynced file legitimately at risk" true
+        (match Lfs_core.Fs.read fs2 "/b" ~off:0 ~len:4000 with
+        | Ok _ | Error _ -> true));
+  Faulty.detach f2
+
+let suite =
+  [
+    Alcotest.test_case "lfs: exhaustive crash-point sweep" `Quick test_sweep_lfs;
+    Alcotest.test_case "ffs: exhaustive crash-point sweep" `Quick test_sweep_ffs;
+    Alcotest.test_case "lfs: torn-write sweep" `Quick test_torn_sweep_lfs;
+    Alcotest.test_case "transient read errors are retried" `Quick
+      test_read_faults;
+    Alcotest.test_case "retry-budget exhaustion is typed" `Quick
+      test_retry_exhaustion;
+    Alcotest.test_case "transient burst within budget" `Quick
+      test_transient_within_budget;
+    Alcotest.test_case "bad sector over checkpoint region A" `Quick
+      test_bad_sector_checkpoint;
+    Alcotest.test_case "torn+unreadable log-tail summary" `Quick
+      test_torn_tail_summary;
+  ]

@@ -18,6 +18,7 @@ let () =
       ("ffs-alloc", Test_ffs_alloc.suite);
       ("readahead", Test_readahead.suite);
       ("workload", Test_workload.suite);
+      ("crashpoint", Test_crashpoint.suite);
       ("trace", Test_trace.suite);
       ("misc", Test_misc.suite);
     ]

@@ -24,6 +24,15 @@
      metric-dup   a metric name is registered at exactly one source
                   location; two sites sharing a literal means two
                   components fighting over one instrument
+     workload-disk  workload and bench code never names the Disk module:
+                  harnesses go through Io (and Faulty for fault
+                  injection), so every access is scheduled, counted, and
+                  interceptable by a fault scenario
+
+   Scope notes: bench/ is exempt from the stdout rule (its job is to
+   print reports) and from metric registration collection (it reads
+   counters back through the same get-or-create API the library used to
+   create them, which is not a duplicate registration).
 
    Allowlist: a text file of "<rule> <path-suffix>" lines; a violation is
    suppressed when its rule matches and its file path ends with the
@@ -58,6 +67,20 @@ let flatten lid =
   | exception _ -> ""
 
 (* --- rule predicates ------------------------------------------------ *)
+
+(* Which tree a file lives in, by path component (works for the real
+   lib/workload and bench trees and for fixtures/workload etc.). *)
+let path_components file = String.split_on_char '/' file
+let in_dir dir file = List.mem dir (path_components file)
+let workload_ctx file = in_dir "workload" file || in_dir "bench" file
+let bench_ctx file = in_dir "bench" file
+
+(* Any value reached through a [Disk] module: Disk.create, Disk.stats,
+   Lfs_disk.Disk.snapshot, ... *)
+let is_disk_value s =
+  match List.rev (String.split_on_char '.' s) with
+  | _ :: "Disk" :: _ -> true
+  | _ -> false
 
 let is_disk_io s =
   s = "Disk.read" || s = "Disk.write"
@@ -114,7 +137,13 @@ let metric_name_ok name =
 
 let check_ident ~file s loc =
   let line = line_of_loc loc in
-  if is_disk_io s then
+  if workload_ctx file && is_disk_value s then
+    report ~rule:"workload-disk" ~file ~line
+      (Printf.sprintf
+         "%s: workloads and benchmarks must go through Io (or Faulty), \
+          never the raw Disk"
+         s)
+  else if is_disk_io s then
     report ~rule:"disk-io" ~file ~line
       (Printf.sprintf
          "%s: raw disk access outside Lfs_disk.Io bypasses request \
@@ -126,7 +155,7 @@ let check_ident ~file s loc =
          "%s: ambient nondeterminism; use the simulated Clock or \
           Lfs_util.Rng"
          s)
-  else if is_stdout s then
+  else if is_stdout s && not (bench_ctx file) then
     report ~rule:"stdout" ~file ~line
       (Printf.sprintf "%s: lib/ code must not print to stdout; use Lfs_obs" s)
   else if is_lru_to_list s then
@@ -152,7 +181,7 @@ let iterator ~file =
     (match e.pexp_desc with
     | Pexp_ident { txt; loc } -> check_ident ~file (flatten txt) loc
     | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
-      when is_metric_registrar (flatten txt) -> (
+      when is_metric_registrar (flatten txt) && not (bench_ctx file) -> (
         (* The metric name is the first string-literal argument; names
            built at runtime cannot be checked statically. *)
         let literal =
