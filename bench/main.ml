@@ -752,6 +752,53 @@ let run_readahead () =
          ]
        rows)
 
+(* ------------------------------------------------------------------ *)
+(* Profile: per-operation latency attribution                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The small-file workload (Figure 3's shape) on a deliberately small
+   disk, so the log wraps and cleaner/checkpoint interference shows up
+   in the attribution columns.  Per op: latency percentiles plus the
+   exclusive-time split across cache/CPU, disk, cleaner and checkpoint
+   work — the four columns sum to the op's total by construction. *)
+let run_profile () =
+  header "Profile: per-operation latency attribution (small-file workload)";
+  let nfiles = if !quick then 1000 else 5000 in
+  let disk_mb = if !quick then 16 else 48 in
+  let entries =
+    List.concat_map
+      (fun inst ->
+        let prof = Lfs_obs.Profile.attach (W.Driver.bus inst) in
+        ignore (W.Smallfile.run ~nfiles ~file_size:1024 inst);
+        Lfs_obs.Profile.detach prof;
+        let rep = Lfs_obs.Profile.report prof in
+        let label = W.Driver.label inst in
+        say "%s (%d files of 1 KB, %d MB disk, simulated us):" label nfiles
+          disk_mb;
+        print_string (Lfs_obs.Profile.render_ops rep);
+        say "";
+        List.map
+          (fun (s : Lfs_obs.Profile.op_stat) ->
+            J.Obj
+              [
+                ("label", J.String label);
+                ("op", J.String s.Lfs_obs.Profile.op);
+                ("count", J.Int s.Lfs_obs.Profile.count);
+                ("total_us", J.Int s.Lfs_obs.Profile.total_us);
+                ("mean_us", J.Float s.Lfs_obs.Profile.mean_us);
+                ("p50_us", J.Int s.Lfs_obs.Profile.p50_us);
+                ("p95_us", J.Int s.Lfs_obs.Profile.p95_us);
+                ("p99_us", J.Int s.Lfs_obs.Profile.p99_us);
+                ("cache_us", J.Int s.Lfs_obs.Profile.cache_us);
+                ("disk_us", J.Int s.Lfs_obs.Profile.disk_us);
+                ("cleaner_us", J.Int s.Lfs_obs.Profile.cleaner_us);
+                ("checkpoint_us", J.Int s.Lfs_obs.Profile.checkpoint_us);
+              ])
+          rep.Lfs_obs.Profile.ops)
+      (W.Setup.both ~disk_mb ())
+  in
+  add_figure "profile" (J.List entries)
+
 let run_ablation_recovery () =
   header "Ablation: crash-recovery time - LFS checkpoint+roll-forward vs\n\
           FFS full-disk scan (fsck)";
@@ -896,12 +943,13 @@ let experiments =
     ("cache", run_ablation_cache);
     ("trace", run_trace);
     ("readahead", run_readahead);
+    ("profile", run_profile);
   ]
 
 let default_order =
   [
-    "fig12"; "fig3"; "fig4"; "fig5"; "readahead"; "segsize"; "policy"; "util";
-    "checkpoint"; "recovery"; "scaling"; "cache"; "trace";
+    "fig12"; "fig3"; "fig4"; "fig5"; "readahead"; "profile"; "segsize";
+    "policy"; "util"; "checkpoint"; "recovery"; "scaling"; "cache"; "trace";
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -993,10 +1041,15 @@ let run_check_json file =
       "read_ratio"; "bandwidth_ratio"; "readahead_issued"; "readahead_hit";
       "readahead_wasted";
     ];
+  check_entries "profile"
+    [
+      "count"; "total_us"; "mean_us"; "p50_us"; "p95_us"; "p99_us";
+      "cache_us"; "disk_us"; "cleaner_us"; "checkpoint_us";
+    ];
   (* The read-ahead accounting invariant: every prefetched block is
      eventually either consumed (hit) or written off (wasted), never
      both, so the served total cannot exceed what was issued. *)
-  match List.assoc_opt "readahead" figs with
+  (match List.assoc_opt "readahead" figs with
   | Some (J.List entries) ->
       List.iter
         (fun entry ->
@@ -1006,6 +1059,27 @@ let run_check_json file =
           if hit +. wasted > issued then
             fail "readahead: hit (%g) + wasted (%g) > issued (%g)" hit wasted
               issued)
+        entries
+  | Some _ | None -> ());
+  (* The attribution invariant: the four exclusive-time columns must sum
+     to the op's total (within 1% — they sum exactly by construction, so
+     any drift is an instrumentation bug), and quantiles must be
+     ordered. *)
+  match List.assoc_opt "profile" figs with
+  | Some (J.List entries) ->
+      List.iter
+        (fun entry ->
+          let total = num entry "total_us" in
+          let parts =
+            num entry "cache_us" +. num entry "disk_us"
+            +. num entry "cleaner_us"
+            +. num entry "checkpoint_us"
+          in
+          if Float.abs (parts -. total) > Float.max 1.0 (total /. 100.0) then
+            fail "profile: attribution %g does not sum to total %g" parts
+              total;
+          let p50 = num entry "p50_us" and p99 = num entry "p99_us" in
+          if p50 > p99 then fail "profile: p50 (%g) > p99 (%g)" p50 p99)
         entries
   | Some _ | None -> ()
 

@@ -289,7 +289,10 @@ module Bus = Lfs_obs.Bus
 module Event = Lfs_obs.Event
 module Json = Lfs_obs.Json
 module Metrics = Lfs_obs.Metrics
+module Profile = Lfs_obs.Profile
+module Benchdiff = Lfs_obs.Benchdiff
 module Driver = Lfs_workload.Driver
+module Setup = Lfs_workload.Setup
 
 let cmd_stats image json =
   let fs = mount_image image in
@@ -330,11 +333,15 @@ let apply_op inst = function
   | `Delete p -> Driver.delete inst p
   | `Sync -> Driver.sync inst
 
-(* Replay [ops] on [inst] with an unbounded sink attached, and emit the
-   captured events as JSONL (one object per line, on stdout). *)
-let trace_instance inst ops =
+(* Replay [ops] on [inst] with a sink attached (a ring of [limit]
+   records when given, unbounded otherwise), and emit the captured
+   events as JSONL (one object per line, on stdout).  A truncated
+   capture is never silent: the JSONL stream ends in a
+   [trace_truncated] trailer and the stderr footer reports the drop
+   count. *)
+let trace_instance ?limit inst ops =
   let bus = Driver.bus inst in
-  let sink = Bus.attach bus in
+  let sink = Bus.attach ?capacity:limit bus in
   Bus.emit bus
     (Event.Note
        { name = "trace_begin"; fields = [ ("system", Json.String (Driver.label inst)) ] });
@@ -343,8 +350,15 @@ let trace_instance inst ops =
     (Event.Note
        { name = "trace_end"; fields = [ ("system", Json.String (Driver.label inst)) ] });
   let records = Bus.records sink in
+  let dropped = Bus.dropped sink in
   Bus.detach bus sink;
-  print_string (Event.to_jsonl records)
+  print_string (Event.to_jsonl ~dropped records);
+  if dropped > 0 then
+    Printf.eprintf "trace: %s: kept newest %d events, dropped %d oldest\n"
+      (Driver.label inst) (List.length records) dropped
+  else
+    Printf.eprintf "trace: %s: %d events\n" (Driver.label inst)
+      (List.length records)
 
 (* The paper's Figure 1 scenario as a default: create two small files
    and sync.  On LFS the trace ends in one sequential segment write; on
@@ -356,14 +370,19 @@ let default_trace_ops =
     `Create "/trace1"; `Write ("/trace1", 1024); `Sync;
   ]
 
-let cmd_trace image with_ffs ops =
+let cmd_trace image with_ffs limit ops =
+  (match limit with
+  | Some n when n <= 0 ->
+      Printf.eprintf "lfstool: trace: --limit must be positive\n";
+      exit 2
+  | Some _ | None -> ());
   let ops =
     match ops with [] -> default_trace_ops | toks -> List.map parse_op toks
   in
   let fs = mount_image image in
   (* Tracing replays the ops in memory only; the image file is left
      untouched. *)
-  trace_instance (Lfs_vfs.Fs_intf.Instance ((module Fs), fs)) ops;
+  trace_instance ?limit (Lfs_vfs.Fs_intf.Instance ((module Fs), fs)) ops;
   if with_ffs then begin
     let size_bytes =
       let g = Lfs_disk.Disk.geometry (Io.disk (Fs.io fs)) in
@@ -380,8 +399,111 @@ let cmd_trace image with_ffs ops =
         Printf.eprintf "lfstool: trace: FFS mount: %s\n" e;
         exit 1
     | Ok ffs ->
-        trace_instance (Lfs_vfs.Fs_intf.Instance ((module Lfs_ffs.Fs), ffs)) ops
+        trace_instance ?limit
+          (Lfs_vfs.Fs_intf.Instance ((module Lfs_ffs.Fs), ffs))
+          ops
   end
+
+(* Latency-attribution profiler: run a scratch workload on both systems
+   with a {!Lfs_obs.Profile} aggregator subscribed, and render the
+   per-operation attribution table (and span tree).  No image argument —
+   everything runs on fresh in-memory stacks.  Exits non-zero if any
+   operation's attribution columns fail to sum to its total within 1%
+   (they sum exactly by construction; the check guards the
+   instrumentation). *)
+
+let check_attribution label (rep : Profile.report) =
+  List.concat_map
+    (fun (s : Profile.op_stat) ->
+      let parts = s.cache_us + s.disk_us + s.cleaner_us + s.checkpoint_us in
+      let slack = max 1 (abs s.total_us / 100) in
+      if abs (parts - s.total_us) > slack then
+        [
+          Printf.sprintf
+            "%s %s: attribution %d us does not sum to total %d us" label s.op
+            parts s.total_us;
+        ]
+      else [])
+    rep.Profile.ops
+
+let cmd_profile workload files file_size file_mb tree json =
+  let run inst =
+    let prof = Profile.attach (Driver.bus inst) in
+    (match workload with
+    | "smallfile" ->
+        ignore (Lfs_workload.Smallfile.run ~nfiles:files ~file_size inst)
+    | "largefile" -> ignore (Lfs_workload.Largefile.run ~file_mb inst)
+    | "trace" ->
+        ignore
+          (Lfs_workload.Trace.replay inst (Lfs_workload.Trace.generate ()))
+    | w ->
+        Printf.eprintf
+          "lfstool: profile: unknown workload %S (want smallfile, largefile \
+           or trace)\n"
+          w;
+        exit 2);
+    Driver.sanitize inst;
+    Profile.detach prof;
+    (Driver.label inst, Profile.report prof)
+  in
+  let reports = List.map run (Setup.both ()) in
+  let violations =
+    List.concat_map (fun (label, rep) -> check_attribution label rep) reports
+  in
+  if json then
+    print_endline
+      (Json.to_string_pretty
+         (Json.Obj
+            [
+              ("schema", Json.String "lfs-profile/1");
+              ("workload", Json.String workload);
+              ( "systems",
+                Json.List
+                  (List.map
+                     (fun (label, rep) ->
+                       match Profile.to_json rep with
+                       | Json.Obj fields ->
+                           Json.Obj (("system", Json.String label) :: fields)
+                       | j -> j)
+                     reports) );
+              ("clean", Json.Bool (violations = []));
+            ]))
+  else
+    List.iter
+      (fun (label, rep) ->
+        Printf.printf "%s %s profile (simulated us)\n" label workload;
+        print_string (Profile.render_ops rep);
+        if tree then begin
+          print_newline ();
+          print_string (Profile.render_tree rep)
+        end;
+        print_newline ())
+      reports;
+  List.iter (fun v -> Printf.eprintf "profile: %s\n" v) violations;
+  if violations <> [] then exit 1
+
+(* Regression gate over lfs-bench/1 files. *)
+let cmd_benchdiff base_file cur_file tolerance gate json =
+  let load file =
+    match Json.of_string_opt (read_file file) with
+    | Some j -> j
+    | None ->
+        Printf.eprintf "lfstool: benchdiff: %s is not valid JSON\n" file;
+        exit 2
+  in
+  let base = load base_file and cur = load cur_file in
+  match Benchdiff.compare ~tolerance_pct:tolerance ~base ~cur () with
+  | exception Invalid_argument msg ->
+      Printf.eprintf "lfstool: %s\n" msg;
+      exit 2
+  | rep ->
+      if json then print_endline (Json.to_string_pretty (Benchdiff.to_json rep))
+      else print_string (Benchdiff.render rep);
+      if gate && Benchdiff.gates rep then begin
+        Printf.eprintf "benchdiff: %s regressed against %s\n" cur_file
+          base_file;
+        exit 1
+      end
 
 (* Fault-injection sweep: crash a scratch workload at every write
    boundary on both systems, tear the crashing write on LFS, inject
@@ -615,6 +737,17 @@ let () =
        let ops =
          Arg.(value & pos_right 0 string [] & info [] ~docv:"OP")
        in
+       let limit =
+         Arg.(
+           value
+           & opt (some int) None
+           & info [ "limit" ]
+               ~doc:
+                 "Keep only the newest $(docv) events (ring capture).  A \
+                  truncated stream ends in a trace_truncated trailer and \
+                  the footer reports the drop count."
+               ~docv:"N")
+       in
        Cmd.v
          (Cmd.info "trace"
             ~doc:
@@ -622,7 +755,85 @@ let () =
                sync; default: two small file creations plus sync) against \
                the image in memory and emit the trace-bus events as \
                JSONL.  The image file is not modified.")
-         Term.(const cmd_trace $ image $ with_ffs $ ops));
+         Term.(const cmd_trace $ image $ with_ffs $ limit $ ops));
+      (let workload =
+         Arg.(
+           required
+           & pos 0 (some string) None
+           & info [] ~docv:"WORKLOAD"
+               ~doc:"One of smallfile, largefile or trace.")
+       in
+       let files =
+         Arg.(
+           value & opt int 400
+           & info [ "files" ] ~doc:"smallfile: number of files.")
+       in
+       let file_size =
+         Arg.(
+           value & opt int 1024
+           & info [ "file-size" ] ~doc:"smallfile: file size in bytes.")
+       in
+       let file_mb =
+         Arg.(
+           value & opt int 4
+           & info [ "file-mb" ] ~doc:"largefile: file size in MB.")
+       in
+       let tree =
+         Arg.(
+           value & flag
+           & info [ "tree" ] ~doc:"Also print the aggregate span tree.")
+       in
+       let json =
+         Arg.(
+           value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+       in
+       Cmd.v
+         (Cmd.info "profile"
+            ~doc:
+              "Run a scratch workload on both LFS and FFS with the \
+               latency-attribution profiler subscribed, and print \
+               per-operation latency percentiles (simulated us) plus the \
+               exclusive-time split across cache/CPU, disk, cleaner \
+               interference and checkpoints.  The four attribution \
+               columns sum to the operation's total; the tool exits \
+               non-zero if they do not (within 1%).  No image needed.")
+         Term.(
+           const cmd_profile $ workload $ files $ file_size $ file_mb $ tree
+           $ json));
+      (let base =
+         Arg.(
+           required & pos 0 (some string) None & info [] ~docv:"BASELINE")
+       in
+       let cur =
+         Arg.(
+           required & pos 1 (some string) None & info [] ~docv:"CURRENT")
+       in
+       let tolerance =
+         Arg.(
+           value & opt float 5.0
+           & info [ "tolerance" ]
+               ~doc:"Allowed change per metric, in percent." ~docv:"PCT")
+       in
+       let gate =
+         Arg.(
+           value & flag
+           & info [ "gate" ]
+               ~doc:
+                 "Exit non-zero if any metric regressed or vanished — the \
+                  regression gate for committed baselines.")
+       in
+       let json =
+         Arg.(
+           value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+       in
+       Cmd.v
+         (Cmd.info "benchdiff"
+            ~doc:
+              "Compare two lfs-bench/1 result files metric by metric: \
+               throughputs and ratios must not fall, times and I/O \
+               volumes must not rise, and metrics with no known \
+               direction must not drift, each beyond the tolerance.")
+         Term.(const cmd_benchdiff $ base $ cur $ tolerance $ gate $ json));
       (let json =
          Arg.(
            value & flag

@@ -36,13 +36,19 @@ let prefetch (st : State.t) e ~inum ~start ~count =
   let max_blkno = if size = 0 then -1 else (size - 1) / bs in
   let last = min (start + count - 1) max_blkno in
   let issue ~first_blkno ~addr ~n =
-    ignore (Block_io.read_run st ~inum ~first_blkno ~addr ~n);
-    for i = 0 to n - 1 do
-      Readahead.mark_issued st.readahead ~owner:inum ~blkno:(first_blkno + i)
-    done;
+    let go () =
+      ignore (Block_io.read_run st ~inum ~first_blkno ~addr ~n);
+      for i = 0 to n - 1 do
+        Readahead.mark_issued st.readahead ~owner:inum ~blkno:(first_blkno + i)
+      done;
+      if Lfs_obs.Bus.enabled st.bus then
+        Lfs_obs.Bus.emit st.bus
+          (Lfs_obs.Event.Readahead
+             { owner = inum; start = first_blkno; blocks = n })
+    in
     if Lfs_obs.Bus.enabled st.bus then
-      Lfs_obs.Bus.emit st.bus
-        (Lfs_obs.Event.Readahead { owner = inum; start = first_blkno; blocks = n })
+      Lfs_obs.Bus.with_span st.bus "lfs_prefetch" go
+    else go ()
   in
   let run_first = ref (-1) in
   let run_addr = ref Layout.null_addr in
@@ -104,18 +110,26 @@ let read (st : State.t) ~inum ~off ~len =
       | None -> (
           Readahead.served st.readahead ~owner:inum ~blkno ~hit:false;
           let addr = Inode_store.bmap_read st e blkno in
-          if addr <> Layout.null_addr then
-            if clustering && not (Block_io.in_active_segment st addr) then begin
-              let n = probe_run st e ~inum ~blkno ~addr ~max_blkno in
-              run_first := blkno;
-              run_n := n;
-              run_bytes := Block_io.read_run st ~inum ~first_blkno:blkno ~addr ~n;
-              Bytes.blit !run_bytes in_block result !pos chunk
-            end
-            else begin
-              let block = Block_io.fetch_file_block st ~inum ~blkno ~addr in
-              Bytes.blit block in_block result !pos chunk
-            end
+          if addr <> Layout.null_addr then begin
+            let fill () =
+              if clustering && not (Block_io.in_active_segment st addr)
+              then begin
+                let n = probe_run st e ~inum ~blkno ~addr ~max_blkno in
+                run_first := blkno;
+                run_n := n;
+                run_bytes :=
+                  Block_io.read_run st ~inum ~first_blkno:blkno ~addr ~n;
+                Bytes.blit !run_bytes in_block result !pos chunk
+              end
+              else begin
+                let block = Block_io.fetch_file_block st ~inum ~blkno ~addr in
+                Bytes.blit block in_block result !pos chunk
+              end
+            in
+            if Lfs_obs.Bus.enabled st.bus then
+              Lfs_obs.Bus.with_span st.bus "lfs_read_fill" fill
+            else fill ()
+          end
           (* A hole on disk reads as zeros (a dirty overlay for the hole
              would have been found in the cache above). *))
     end;

@@ -3,6 +3,7 @@ module Errors = Lfs_vfs.Errors
 module Fs_intf = Lfs_vfs.Fs_intf
 module Io = Lfs_disk.Io
 module Path = Lfs_vfs.Path
+module Profile = Lfs_obs.Profile
 
 type t = State.t
 
@@ -72,8 +73,9 @@ let resolve_path (st : t) path =
   | Ok components -> Namespace.resolve st components
   | Error e -> Errors.raise_ e
 
-let make_node (st : t) path kind =
+let make_node (st : t) path kind op =
   Errors.wrap (fun () ->
+      Profile.with_op st.bus op @@ fun () ->
       Io.charge_syscall st.io;
       let parent, fname = split_parent path in
       let dir = Namespace.resolve_dir st parent in
@@ -91,11 +93,12 @@ let make_node (st : t) path kind =
       Namespace.add st ~dir fname inum;
       housekeep st)
 
-let create st path = make_node st path Fs_intf.Regular
-let mkdir st path = make_node st path Fs_intf.Directory
+let create st path = make_node st path Fs_intf.Regular `Create
+let mkdir st path = make_node st path Fs_intf.Directory `Mkdir
 
 let delete (st : t) path =
   Errors.wrap (fun () ->
+      Profile.with_op st.bus `Delete @@ fun () ->
       Io.charge_syscall st.io;
       let parent, fname = split_parent path in
       let dir = Namespace.resolve_dir st parent in
@@ -124,6 +127,7 @@ let delete (st : t) path =
 
 let rename (st : t) src dst =
   Errors.wrap (fun () ->
+      Profile.with_op st.bus `Rename @@ fun () ->
       Io.charge_syscall st.io;
       let src_parent, src_name = split_parent src in
       let dst_parent, dst_name = split_parent dst in
@@ -155,6 +159,7 @@ let rename (st : t) src dst =
 
 let link (st : t) src dst =
   Errors.wrap (fun () ->
+      Profile.with_op st.bus `Link @@ fun () ->
       Io.charge_syscall st.io;
       let src_inum = resolve_path st src in
       let e = Inode_store.find st src_inum in
@@ -180,6 +185,7 @@ let regular_inum (st : t) path =
 
 let write (st : t) path ~off data =
   Errors.wrap (fun () ->
+      Profile.with_op st.bus `Write @@ fun () ->
       Io.charge_syscall st.io;
       let inum = regular_inum st path in
       File_io.write st ~inum ~off data;
@@ -187,6 +193,7 @@ let write (st : t) path ~off data =
 
 let read (st : t) path ~off ~len =
   Errors.wrap (fun () ->
+      Profile.with_op st.bus `Read @@ fun () ->
       Io.charge_syscall st.io;
       let inum = regular_inum st path in
       let data = File_io.read st ~inum ~off ~len in
@@ -195,6 +202,7 @@ let read (st : t) path ~off ~len =
 
 let truncate (st : t) path ~size =
   Errors.wrap (fun () ->
+      Profile.with_op st.bus `Truncate @@ fun () ->
       Io.charge_syscall st.io;
       let inum = regular_inum st path in
       File_io.truncate st ~inum ~size;
@@ -202,6 +210,7 @@ let truncate (st : t) path ~size =
 
 let stat (st : t) path =
   Errors.wrap (fun () ->
+      Profile.with_op st.bus `Stat @@ fun () ->
       Io.charge_syscall st.io;
       let inum = resolve_path st path in
       let e = Inode_store.find st inum in
@@ -216,6 +225,7 @@ let stat (st : t) path =
 
 let readdir (st : t) path =
   Errors.wrap (fun () ->
+      Profile.with_op st.bus `Readdir @@ fun () ->
       Io.charge_syscall st.io;
       let inum = resolve_path st path in
       Namespace.entries st ~dir:inum
@@ -228,6 +238,7 @@ let exists (st : t) path =
   | Error _ -> false
 
 let sync (st : t) =
+  Profile.with_op st.bus `Sync @@ fun () ->
   Io.charge_syscall st.io;
   let rec attempt () =
     try Write_path.sync st ~privilege:`User
@@ -243,6 +254,7 @@ let sync (st : t) =
 
 let fsync (st : t) path =
   Errors.wrap (fun () ->
+      Profile.with_op st.bus `Fsync @@ fun () ->
       Io.charge_syscall st.io;
       let inum = resolve_path st path in
       let rec attempt () =

@@ -149,6 +149,10 @@ let flush_data (st : State.t) ~privilege =
     Fun.protect
       ~finally:(fun () -> st.flushing <- false)
       (fun () ->
+        (if Lfs_obs.Bus.enabled st.bus then
+           Lfs_obs.Bus.with_span st.bus "lfs_log_flush"
+         else fun f -> f ())
+        @@ fun () ->
         (* Group dirty cache blocks by owner, oldest file first. *)
         let order = ref [] in
         let by_owner = Hashtbl.create 64 in
@@ -251,6 +255,9 @@ let flush_meta_blocks (st : State.t) ~privilege =
   Seg_usage.clear_dirty st.usage
 
 let checkpoint ?(privilege = `System) (st : State.t) =
+  (if Lfs_obs.Bus.enabled st.bus then Lfs_obs.Bus.with_span st.bus "checkpoint"
+   else fun f -> f ())
+  @@ fun () ->
   flush_data st ~privilege;
   flush_meta_blocks st ~privilege:`System;
   Segwriter.flush_active st;

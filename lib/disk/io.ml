@@ -110,47 +110,60 @@ let start_time t = max (now_us t) t.busy_until_us
    head never moves and the clock advances by the (exponentially
    growing) wait between attempts. *)
 let sync_read t ~sector ~count =
-  let rec attempt n =
-    match Disk.read ~start_us:(start_time t) t.disk ~sector ~count with
-    | data, service_us ->
-        let sequential = Disk.last_was_streamed t.disk in
-        record t ~kind:`Read ~sync:true ~sector ~sectors:count ~service_us
-          ~sequential;
-        Clock.advance_to_us t.clock (start_time t + service_us);
-        t.busy_until_us <- Clock.now_us t.clock;
-        data
-    | exception Disk.Read_fault _ ->
-        if n >= t.read_attempts then raise (Read_failed { sector; attempts = n })
-        else begin
-          Metrics.incr t.c_retries;
-          let backoff = t.retry_backoff_us * (1 lsl (n - 1)) in
-          Metrics.add t.c_backoff_us backoff;
-          Clock.advance_us t.clock backoff;
-          attempt (n + 1)
-        end
+  let go () =
+    let rec attempt n =
+      match Disk.read ~start_us:(start_time t) t.disk ~sector ~count with
+      | data, service_us ->
+          let sequential = Disk.last_was_streamed t.disk in
+          record t ~kind:`Read ~sync:true ~sector ~sectors:count ~service_us
+            ~sequential;
+          Clock.advance_to_us t.clock (start_time t + service_us);
+          t.busy_until_us <- Clock.now_us t.clock;
+          data
+      | exception Disk.Read_fault _ ->
+          if n >= t.read_attempts then
+            raise (Read_failed { sector; attempts = n })
+          else begin
+            Metrics.incr t.c_retries;
+            let backoff = t.retry_backoff_us * (1 lsl (n - 1)) in
+            Metrics.add t.c_backoff_us backoff;
+            Clock.advance_us t.clock backoff;
+            attempt (n + 1)
+          end
+    in
+    attempt 1
   in
-  attempt 1
+  (* The span covers the retry loop too: backoff waits are disk time. *)
+  if Bus.enabled t.bus then Bus.with_span t.bus "io_read" go else go ()
 
 let sync_write t ~sector data =
-  let start = start_time t in
-  let service_us = Disk.write ~start_us:start t.disk ~sector data in
-  let sectors = Bytes.length data / sector_size t in
-  let sequential = Disk.last_was_streamed t.disk in
-  record t ~kind:`Write ~sync:true ~sector ~sectors ~service_us ~sequential;
-  Clock.advance_to_us t.clock (start + service_us);
-  t.busy_until_us <- Clock.now_us t.clock
+  let go () =
+    let start = start_time t in
+    let service_us = Disk.write ~start_us:start t.disk ~sector data in
+    let sectors = Bytes.length data / sector_size t in
+    let sequential = Disk.last_was_streamed t.disk in
+    record t ~kind:`Write ~sync:true ~sector ~sectors ~service_us ~sequential;
+    Clock.advance_to_us t.clock (start + service_us);
+    t.busy_until_us <- Clock.now_us t.clock
+  in
+  if Bus.enabled t.bus then Bus.with_span t.bus "io_write" go else go ()
 
 let async_write t ~sector data =
-  let start = start_time t in
-  let service_us = Disk.write ~start_us:start t.disk ~sector data in
-  let sectors = Bytes.length data / sector_size t in
-  let sequential = Disk.last_was_streamed t.disk in
-  record t ~kind:`Write ~sync:false ~sector ~sectors ~service_us ~sequential;
-  t.busy_until_us <- start + service_us;
-  (* Writer throttling: the application may run ahead of the disk only by
-     the write-buffer depth. *)
-  if t.busy_until_us - Clock.now_us t.clock > t.max_backlog_us then
-    Clock.advance_to_us t.clock (t.busy_until_us - t.max_backlog_us)
+  let go () =
+    let start = start_time t in
+    let service_us = Disk.write ~start_us:start t.disk ~sector data in
+    let sectors = Bytes.length data / sector_size t in
+    let sequential = Disk.last_was_streamed t.disk in
+    record t ~kind:`Write ~sync:false ~sector ~sectors ~service_us ~sequential;
+    t.busy_until_us <- start + service_us;
+    (* Writer throttling: the application may run ahead of the disk only by
+       the write-buffer depth. *)
+    if t.busy_until_us - Clock.now_us t.clock > t.max_backlog_us then
+      Clock.advance_to_us t.clock (t.busy_until_us - t.max_backlog_us)
+  in
+  (* The async span's elapsed time is only the throttle wait (if any):
+     the op does not block on the device itself. *)
+  if Bus.enabled t.bus then Bus.with_span t.bus "io_write_async" go else go ()
 
 let note_clustered_read t ~blocks =
   Metrics.incr t.c_clustered_reads;
@@ -160,7 +173,13 @@ let note_clustered_write t ~blocks =
   Metrics.incr t.c_clustered_writes;
   Metrics.add t.c_clustered_write_blocks blocks
 
-let drain t = Clock.advance_to_us t.clock t.busy_until_us
+let drain t =
+  (* Only span an actual wait — a no-op drain would add zero-length spans
+     to every sync. *)
+  if Bus.enabled t.bus && t.busy_until_us > Clock.now_us t.clock then
+    Bus.with_span t.bus "io_drain" (fun () ->
+        Clock.advance_to_us t.clock t.busy_until_us)
+  else Clock.advance_to_us t.clock t.busy_until_us
 let disk_stats t = Disk.stats t.disk
 let snapshot_media t = Disk.snapshot t.disk
 let restore_media t media = Disk.restore t.disk media

@@ -7,6 +7,7 @@ module Io = Lfs_disk.Io
 module Path = Lfs_vfs.Path
 module Bus = Lfs_obs.Bus
 module Event = Lfs_obs.Event
+module Profile = Lfs_obs.Profile
 
 (* Announce a synchronous metadata write on the trace bus — the pattern
    the paper blames for FFS's small-file performance (§2). *)
@@ -466,8 +467,9 @@ let split_parent path =
 
 (* Namespace operations *)
 
-let make_node t path kind =
+let make_node t path kind op =
   Errors.wrap (fun () ->
+      Profile.with_op (Io.bus t.io) op @@ fun () ->
       Io.charge_syscall t.io;
       let parent, fname = split_parent path in
       let dir = resolve t parent in
@@ -491,8 +493,8 @@ let make_node t path kind =
       dir_add t ~dir fname inum ~sync_write:true;
       housekeep t)
 
-let create t path = make_node t path Fs_intf.Regular
-let mkdir t path = make_node t path Fs_intf.Directory
+let create t path = make_node t path Fs_intf.Regular `Create
+let mkdir t path = make_node t path Fs_intf.Directory `Mkdir
 
 let release_file_blocks t (e : entry) =
   let bs = t.layout.Layout.block_size in
@@ -522,6 +524,7 @@ let release_file_blocks t (e : entry) =
 
 let delete t path =
   Errors.wrap (fun () ->
+      Profile.with_op (Io.bus t.io) `Delete @@ fun () ->
       Io.charge_syscall t.io;
       let parent, fname = split_parent path in
       let dir = resolve t parent in
@@ -551,6 +554,7 @@ let delete t path =
 
 let rename t src dst =
   Errors.wrap (fun () ->
+      Profile.with_op (Io.bus t.io) `Rename @@ fun () ->
       Io.charge_syscall t.io;
       let src_parent, src_name = split_parent src in
       let dst_parent, dst_name = split_parent dst in
@@ -578,6 +582,7 @@ let rename t src dst =
 
 let link t src dst =
   Errors.wrap (fun () ->
+      Profile.with_op (Io.bus t.io) `Link @@ fun () ->
       Io.charge_syscall t.io;
       let src_inum = resolve_path t src in
       let e = get_entry t src_inum in
@@ -658,14 +663,17 @@ let prefetch t (e : entry) ~inum ~start ~count =
   let max_blkno = if size = 0 then -1 else (size - 1) / bs in
   let last = min (start + count - 1) max_blkno in
   let issue ~first_blkno ~addr ~n =
-    ignore (read_run t ~inum ~first_blkno ~addr ~n);
-    for i = 0 to n - 1 do
-      Readahead.mark_issued t.readahead ~owner:inum ~blkno:(first_blkno + i)
-    done;
     let bus = Io.bus t.io in
-    if Bus.enabled bus then
-      Bus.emit bus
-        (Event.Readahead { owner = inum; start = first_blkno; blocks = n })
+    let go () =
+      ignore (read_run t ~inum ~first_blkno ~addr ~n);
+      for i = 0 to n - 1 do
+        Readahead.mark_issued t.readahead ~owner:inum ~blkno:(first_blkno + i)
+      done;
+      if Bus.enabled bus then
+        Bus.emit bus
+          (Event.Readahead { owner = inum; start = first_blkno; blocks = n })
+    in
+    if Bus.enabled bus then Bus.with_span bus "ffs_prefetch" go else go ()
   in
   let run_first = ref (-1) in
   let run_addr = ref Layout.null_addr in
@@ -694,6 +702,7 @@ let prefetch t (e : entry) ~inum ~start ~count =
 
 let read t path ~off ~len =
   Errors.wrap (fun () ->
+      Profile.with_op (Io.bus t.io) `Read @@ fun () ->
       Io.charge_syscall t.io;
       if off < 0 || len < 0 then Errors.raise_ (Errors.Einval "read bounds");
       let inum = regular_inum t path in
@@ -728,18 +737,24 @@ let read t path ~off ~len =
           | None -> (
               Readahead.served t.readahead ~owner:inum ~blkno ~hit:false;
               let addr = bmap_read t e blkno in
-              if addr <> Layout.null_addr then
-                if clustering then begin
-                  let n = probe_run t e ~inum ~blkno ~addr ~max_blkno in
-                  run_first := blkno;
-                  run_n := n;
-                  run_bytes := read_run t ~inum ~first_blkno:blkno ~addr ~n;
-                  Bytes.blit !run_bytes in_block result !pos chunk
-                end
-                else
-                  Bytes.blit
-                    (read_file_block t ~inum ~blkno ~addr)
-                    in_block result !pos chunk)
+              if addr <> Layout.null_addr then begin
+                let fill () =
+                  if clustering then begin
+                    let n = probe_run t e ~inum ~blkno ~addr ~max_blkno in
+                    run_first := blkno;
+                    run_n := n;
+                    run_bytes := read_run t ~inum ~first_blkno:blkno ~addr ~n;
+                    Bytes.blit !run_bytes in_block result !pos chunk
+                  end
+                  else
+                    Bytes.blit
+                      (read_file_block t ~inum ~blkno ~addr)
+                      in_block result !pos chunk
+                in
+                let bus = Io.bus t.io in
+                if Bus.enabled bus then Bus.with_span bus "ffs_read_fill" fill
+                else fill ()
+              end)
         end;
         pos := !pos + chunk
       done;
@@ -758,6 +773,7 @@ let read t path ~off ~len =
 
 let write t path ~off data =
   Errors.wrap (fun () ->
+      Profile.with_op (Io.bus t.io) `Write @@ fun () ->
       Io.charge_syscall t.io;
       if off < 0 then Errors.raise_ (Errors.Einval "negative offset");
       let inum = regular_inum t path in
@@ -806,6 +822,7 @@ let write t path ~off data =
 
 let truncate t path ~size =
   Errors.wrap (fun () ->
+      Profile.with_op (Io.bus t.io) `Truncate @@ fun () ->
       Io.charge_syscall t.io;
       if size < 0 then Errors.raise_ (Errors.Einval "negative size");
       if size > Inode.max_size t.layout then Errors.raise_ Errors.Efbig;
@@ -860,6 +877,7 @@ let truncate t path ~size =
 
 let stat t path =
   Errors.wrap (fun () ->
+      Profile.with_op (Io.bus t.io) `Stat @@ fun () ->
       Io.charge_syscall t.io;
       let inum = resolve_path t path in
       let e = get_entry t inum in
@@ -874,6 +892,7 @@ let stat t path =
 
 let readdir t path =
   Errors.wrap (fun () ->
+      Profile.with_op (Io.bus t.io) `Readdir @@ fun () ->
       Io.charge_syscall t.io;
       let inum = resolve_path t path in
       dir_entries t ~dir:inum |> List.map fst |> List.sort String.compare)
@@ -884,11 +903,13 @@ let exists t path =
   | Error _ -> false
 
 let sync t =
+  Profile.with_op (Io.bus t.io) `Sync @@ fun () ->
   Io.charge_syscall t.io;
   do_sync t
 
 let fsync t path =
   Errors.wrap (fun () ->
+      Profile.with_op (Io.bus t.io) `Fsync @@ fun () ->
       Io.charge_syscall t.io;
       ignore (resolve_path t path);
       do_sync t)

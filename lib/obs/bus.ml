@@ -115,5 +115,21 @@ let span_end t name =
            { name; depth = span_depth t; elapsed_us = t.now () - started })
 
 let with_span t name f =
+  let depth0 = span_depth t in
   span_begin t name;
-  Fun.protect ~finally:(fun () -> span_end t name) f
+  match f () with
+  | v ->
+      span_end t name;
+      v
+  | exception e ->
+      (* Unwind every span opened at or below this frame — including any
+         that [f] leaked by raising between a [span_begin] and its
+         [span_end] — so a crash mid-operation cannot corrupt the stack.
+         Each unwound span still emits its [Span_end], marking where the
+         exception cut the interval short. *)
+      while span_depth t > depth0 do
+        match t.spans with
+        | (n, _) :: _ -> span_end t n
+        | [] -> assert false
+      done;
+      raise e

@@ -56,4 +56,8 @@ val span_end : t -> string -> unit
 (** @raise Invalid_argument if [name] is not the innermost open span. *)
 
 val with_span : t -> string -> (unit -> 'a) -> 'a
-(** [span_begin]/[span_end] around [f], exception-safe. *)
+(** [span_begin]/[span_end] around [f].  If [f] raises, this span — and
+    any inner span [f] leaked by raising between a {!span_begin} and its
+    {!span_end} — is closed (emitting its [Span_end]) before the
+    exception propagates, so a crash mid-operation never corrupts the
+    span stack. *)

@@ -117,8 +117,24 @@ let to_json { at_us; event } =
     (("at_us", Json.Int at_us) :: ("event", Json.String (name event))
     :: fields event)
 
-let to_jsonl records =
-  String.concat "" (List.map (fun r -> Json.to_string (to_json r) ^ "\n") records)
+let to_jsonl ?(dropped = 0) records =
+  let body =
+    String.concat ""
+      (List.map (fun r -> Json.to_string (to_json r) ^ "\n") records)
+  in
+  if dropped <= 0 then body
+  else
+    (* Trailer marking a truncated export: a ring sink overflowed, so the
+       stream is the newest [kept] records of [kept + dropped] emitted. *)
+    body
+    ^ Json.to_string
+        (Json.Obj
+           [
+             ("event", Json.String "trace_truncated");
+             ("dropped", Json.Int dropped);
+             ("kept", Json.Int (List.length records));
+           ])
+    ^ "\n"
 
 let csv_header = "at_us,event,attrs"
 

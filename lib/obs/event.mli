@@ -49,8 +49,11 @@ val fields : t -> (string * Json.t) list
 
 val to_json : record -> Json.t
 
-val to_jsonl : record list -> string
-(** One compact JSON object per line. *)
+val to_jsonl : ?dropped:int -> record list -> string
+(** One compact JSON object per line.  When [dropped > 0] (a ring sink
+    overflowed), a final [{"event":"trace_truncated","dropped":N,
+    "kept":K}] trailer line marks the export as the newest [K] of
+    [K + N] records. *)
 
 val csv_header : string
 

@@ -66,6 +66,10 @@ let histogram t name =
   | Mhist h -> h
   | _ -> assert false
 
+(* Aggregators (Profile) keep their own keyed tables of histogram cells
+   and only need the bucketing machinery, not a registry slot. *)
+let standalone_histogram = fresh_histogram
+
 let bucket_of v =
   if v <= 0 then 0
   else begin
@@ -188,8 +192,10 @@ let find snap name = List.assoc_opt name snap
 let counter_value snap name =
   match find snap name with Some (Counter n) -> Some n | _ -> None
 
-(* Approximate quantile from the log buckets: the upper bound of the
-   bucket where the cumulative count crosses q. *)
+(* Approximate quantile from the log buckets: linear interpolation within
+   the bucket where the cumulative count crosses q, assuming samples are
+   spread uniformly across the bucket's range.  Clamped to the observed
+   min/max, which makes single-bucket populations exact. *)
 let quantile hs q =
   if hs.count = 0 then None
   else begin
@@ -198,7 +204,24 @@ let quantile hs q =
     let rec walk seen = function
       | [] -> Some hs.max_v
       | (ub, n) :: rest ->
-          if seen + n >= target then Some (min ub hs.max_v) else walk (seen + n) rest
+          if seen + n >= target then begin
+            (* [(ub / 2) + 1], not [(ub + 1) / 2]: every bucket bound is
+               odd (2^k - 1) so they agree, but the latter overflows on
+               the [max_int] bucket. *)
+            let lb = if ub = 0 then 0 else (ub / 2) + 1 in
+            let frac =
+              float_of_int (target - seen) /. float_of_int n
+            in
+            let est =
+              float_of_int lb
+              +. (frac *. (float_of_int ub -. float_of_int lb))
+            in
+            let est = int_of_float est in
+            (* Keep float-conversion artifacts inside the bucket. *)
+            let est = if est < lb then lb else if est > ub then ub else est in
+            Some (max hs.min_v (min est hs.max_v))
+          end
+          else walk (seen + n) rest
     in
     walk 0 hs.buckets
   end
@@ -214,7 +237,7 @@ let pp_value = function
   | Histogram hs ->
       if hs.count = 0 then "count=0"
       else
-        Printf.sprintf "count=%d mean=%.1f min=%d p50<=%d p99<=%d max=%d"
+        Printf.sprintf "count=%d mean=%.1f min=%d p50~%d p99~%d max=%d"
           hs.count (mean hs) hs.min_v
           (Option.value ~default:0 (quantile hs 0.5))
           (Option.value ~default:0 (quantile hs 0.99))

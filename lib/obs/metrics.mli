@@ -34,6 +34,11 @@ val histogram : t -> string -> histogram
 (** Get or create a log-scale histogram: bucket boundaries are the powers
     of two, so values spanning nine decades fit in 63 buckets. *)
 
+val standalone_histogram : unit -> histogram
+(** A histogram cell not registered anywhere — for aggregators (like
+    {!Profile}) that keep their own keyed tables and only need the
+    bucketing/quantile machinery. *)
+
 val observe : histogram -> int -> unit
 (** Record one (non-negative; negatives land in the zero bucket) value. *)
 
@@ -58,6 +63,9 @@ type snapshot = (string * value_snapshot) list
 
 val snapshot : t -> snapshot
 
+val snapshot_histogram : histogram -> hist_snapshot
+(** Snapshot one histogram cell (e.g. a {!standalone_histogram}). *)
+
 val reset : t -> unit
 (** Zero every counter and histogram (gauges are callbacks and have no
     state to clear). *)
@@ -76,8 +84,10 @@ val find : snapshot -> string -> value_snapshot option
 val counter_value : snapshot -> string -> int option
 
 val quantile : hist_snapshot -> float -> int option
-(** Upper bound of the bucket where the cumulative count crosses [q] —
-    an over-estimate by at most 2x (log-scale buckets). *)
+(** Estimated [q]-quantile: linear interpolation within the log bucket
+    where the cumulative count crosses [q], clamped to the observed
+    min/max.  Exact when all samples share one bucket; otherwise the
+    quantization error is bounded by the bucket width. *)
 
 val mean : hist_snapshot -> float
 

@@ -7,6 +7,7 @@ let () =
       ("codecs", Test_codecs.suite);
       ("disk", Test_disk.suite);
       ("obs", Test_obs.suite);
+      ("profile", Test_profile.suite);
       ("lfs-basic", Test_lfs_basic.suite);
       ("lfs-internals", Test_lfs_internals.suite);
       ("lfs-recovery", Test_lfs_recovery.suite);

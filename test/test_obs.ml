@@ -88,6 +88,34 @@ let prop_histogram_bucket_bounds =
                hs.Metrics.buckets
       | _ -> false)
 
+(* Interpolation inside the crossing bucket keeps quantization error
+   small even though buckets are powers of two.  For uniform 1..1000 the
+   exact p50 is 500; the bucket walk alone would answer 511 (the bucket
+   upper bound), an off-by-2% artifact that interpolation removes. *)
+let test_quantile_interpolation () =
+  let h = Metrics.standalone_histogram () in
+  for v = 1 to 1000 do
+    Metrics.observe h v
+  done;
+  let snap = Metrics.snapshot_histogram h in
+  let q p =
+    match Metrics.quantile snap p with
+    | Some v -> v
+    | None -> Alcotest.failf "no quantile for %g" p
+  in
+  let p50 = q 0.5 in
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 %d within 2%% of 500" p50)
+    true
+    (abs (p50 - 500) <= 10);
+  let p99 = q 0.99 in
+  (* The top bucket estimate clamps to the observed max. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "p99 %d within 5%% of 990" p99)
+    true
+    (abs (p99 - 990) <= 50);
+  Alcotest.(check bool) "quantiles monotone" true (p50 <= p99)
+
 let test_diff_and_gauge () =
   let m = Metrics.create () in
   let c = Metrics.counter m "t.c" in
@@ -196,6 +224,36 @@ let test_span_mismatch () =
   Bus.span_end bus "a";
   Alcotest.(check int) "depth 0" 0 (Bus.span_depth bus)
 
+(* An exception inside [with_span] unwinds every span opened since the
+   wrapper's own begin — including bare [span_begin]s the body leaked —
+   emitting their [Span_end]s innermost-first, then re-raises the
+   original exception with the stack back at its pre-call depth. *)
+let test_span_unwind () =
+  let bus, now = make_bus () in
+  let sink = Bus.attach bus in
+  (match
+     Bus.with_span bus "outer" (fun () ->
+         Bus.span_begin bus "leak_a";
+         Bus.span_begin bus "leak_b";
+         now := 7;
+         raise Exit)
+   with
+  | () -> Alcotest.fail "exception swallowed"
+  | exception Exit -> ()
+  | exception e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e));
+  Alcotest.(check int) "depth restored" 0 (Bus.span_depth bus);
+  let ends =
+    List.filter_map
+      (function
+        | { Event.event = Event.Span_end { name; _ }; _ } -> Some name
+        | _ -> None)
+      (Bus.records sink)
+  in
+  Alcotest.(check (list string))
+    "unwound innermost-first"
+    [ "leak_b"; "leak_a"; "outer" ]
+    ends
+
 (* Span bookkeeping survives quiet periods: attach mid-run and depths are
    still right. *)
 let test_span_quiet_bookkeeping () =
@@ -279,6 +337,34 @@ let test_jsonl_roundtrip () =
       | _ -> Alcotest.fail "missing event tag")
     lines records
 
+(* A ring sink that dropped events announces the truncation as a final
+   machine-readable trailer line; a complete trace stays trailer-free. *)
+let test_jsonl_dropped_trailer () =
+  let records =
+    List.mapi (fun i event -> { Event.at_us = i; event }) sample_events
+  in
+  let lines =
+    String.split_on_char '\n' (String.trim (Event.to_jsonl ~dropped:3 records))
+  in
+  Alcotest.(check int) "records + trailer"
+    (List.length records + 1)
+    (List.length lines);
+  let j = Json.of_string (List.nth lines (List.length lines - 1)) in
+  (match Json.member "event" j with
+  | Some (Json.String "trace_truncated") -> ()
+  | _ -> Alcotest.fail "trailer tag");
+  (match Json.member "dropped" j with
+  | Some (Json.Int 3) -> ()
+  | _ -> Alcotest.fail "dropped count");
+  (match Json.member "kept" j with
+  | Some (Json.Int n) when n = List.length records -> ()
+  | _ -> Alcotest.fail "kept count");
+  let plain =
+    String.split_on_char '\n' (String.trim (Event.to_jsonl records))
+  in
+  Alcotest.(check int) "no trailer when complete" (List.length records)
+    (List.length plain)
+
 let test_csv_shape () =
   let records =
     List.mapi (fun i event -> { Event.at_us = i; event }) sample_events
@@ -308,6 +394,8 @@ let suite =
     Alcotest.test_case "kind conflict" `Quick test_kind_conflict;
     Alcotest.test_case "reset by prefix" `Quick test_reset_prefix;
     Alcotest.test_case "histogram bucketing" `Quick test_histogram_buckets;
+    Alcotest.test_case "quantile interpolation" `Quick
+      test_quantile_interpolation;
     qcheck prop_histogram_bucket_bounds;
     Alcotest.test_case "diff and gauges" `Quick test_diff_and_gauge;
     Alcotest.test_case "quiet bus and sink" `Quick test_bus_quiet_and_sink;
@@ -316,10 +404,13 @@ let suite =
     Alcotest.test_case "subscriber" `Quick test_subscriber;
     Alcotest.test_case "span nesting" `Quick test_span_nesting;
     Alcotest.test_case "span mismatch" `Quick test_span_mismatch;
+    Alcotest.test_case "span exception unwinding" `Quick test_span_unwind;
     Alcotest.test_case "span quiet bookkeeping" `Quick
       test_span_quiet_bookkeeping;
     Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
     Alcotest.test_case "jsonl roundtrip" `Quick test_jsonl_roundtrip;
+    Alcotest.test_case "jsonl dropped trailer" `Quick
+      test_jsonl_dropped_trailer;
     Alcotest.test_case "csv shape" `Quick test_csv_shape;
     Alcotest.test_case "metrics to_json" `Quick test_metrics_json;
   ]

@@ -1,0 +1,10 @@
+(* expect: span-dup *)
+(* The same span name opened at two sites conflates two code paths in
+   the profile tree; hoist the literal into a shared helper instead. *)
+let fill_a bus f = Lfs_obs.Bus.with_span bus "read_fill" f
+
+let fill_b bus f =
+  Bus.span_begin bus "read_fill";
+  let r = f () in
+  Bus.span_end bus "read_fill";
+  r

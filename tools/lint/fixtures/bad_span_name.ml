@@ -1,0 +1,4 @@
+(* expect: span-name *)
+(* Span names feed the aggregate span tree and must be snake_case:
+   no capitals, no dots, no dashes. *)
+let slow bus f = Lfs_obs.Bus.with_span bus "Slow-Path.read" f

@@ -24,6 +24,14 @@
      metric-dup   a metric name is registered at exactly one source
                   location; two sites sharing a literal means two
                   components fighting over one instrument
+     span-name    span names opened via Lfs_obs.Bus (with_span or
+                  span_begin) must be snake_case — a single lowercase
+                  word chain, no dots (spans are per-layer, not
+                  registry-scoped)
+     span-dup     a span name literal appears at exactly one source
+                  location; shared names make the aggregate span tree
+                  conflate two different code paths (helpers like
+                  Profile.with_op own the literal instead)
      workload-disk  workload and bench code never names the Disk module:
                   harnesses go through Io (and Faulty for fault
                   injection), so every access is scheduled, counted, and
@@ -55,6 +63,9 @@ let violations : violation list ref = ref []
 
 (* metric name -> registration sites (file, line), newest first *)
 let metric_sites : (string, (string * int) list) Hashtbl.t = Hashtbl.create 64
+
+(* span name -> sites opening it, newest first *)
+let span_sites : (string, (string * int) list) Hashtbl.t = Hashtbl.create 64
 
 let report ~rule ~file ~line message =
   violations := { rule; file; line; message } :: !violations
@@ -117,6 +128,21 @@ let is_metric_registrar s =
     (fun r -> s = r || String.ends_with ~suffix:("." ^ r) s)
     metric_registrars
 
+let span_registrars = [ "Bus.with_span"; "Bus.span_begin" ]
+
+let is_span_registrar s =
+  List.exists
+    (fun r -> s = r || String.ends_with ~suffix:("." ^ r) s)
+    span_registrars
+
+let span_name_ok name =
+  String.length name > 0
+  && (match name.[0] with 'a' .. 'z' -> true | _ -> false)
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_')
+       name
+
 let metric_prefixes = [ "disk"; "io"; "cache"; "lfs"; "ffs" ]
 
 let metric_name_ok name =
@@ -175,6 +201,16 @@ let check_metric_registration ~file name loc =
   in
   Hashtbl.replace metric_sites name ((file, line) :: sites)
 
+let check_span_registration ~file name loc =
+  let line = line_of_loc loc in
+  if not (span_name_ok name) then
+    report ~rule:"span-name" ~file ~line
+      (Printf.sprintf "span %S is not snake_case ([a-z][a-z0-9_]*)" name);
+  let sites =
+    match Hashtbl.find_opt span_sites name with Some l -> l | None -> []
+  in
+  Hashtbl.replace span_sites name ((file, line) :: sites)
+
 let iterator ~file =
   let open Ast_iterator in
   let expr it (e : Parsetree.expression) =
@@ -195,6 +231,21 @@ let iterator ~file =
         in
         match literal with
         | Some (name, loc) -> check_metric_registration ~file name loc
+        | None -> ())
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+      when is_span_registrar (flatten txt) -> (
+        (* Likewise, the span name is the first string literal. *)
+        let literal =
+          List.find_map
+            (fun (_, (arg : Parsetree.expression)) ->
+              match arg.pexp_desc with
+              | Pexp_constant (Pconst_string (s, _, _)) ->
+                  Some (s, arg.pexp_loc)
+              | _ -> None)
+            args
+        in
+        match literal with
+        | Some (name, loc) -> check_span_registration ~file name loc
         | None -> ())
     | _ -> ());
     default_iterator.expr it e
@@ -232,6 +283,19 @@ let finish_metric_dups () =
             dups
       | _ -> ())
     metric_sites
+
+let finish_span_dups () =
+  Hashtbl.iter
+    (fun name sites ->
+      match List.rev sites with
+      | _first :: (_ :: _ as dups) ->
+          List.iter
+            (fun (file, line) ->
+              report ~rule:"span-dup" ~file ~line
+                (Printf.sprintf "span %S is already opened elsewhere" name))
+            dups
+      | _ -> ())
+    span_sites
 
 (* --- file discovery and allowlist ----------------------------------- *)
 
@@ -296,8 +360,10 @@ let self_test dir =
     (fun file ->
       violations := [];
       Hashtbl.reset metric_sites;
+      Hashtbl.reset span_sites;
       lint_file file;
       finish_metric_dups ();
+      finish_span_dups ();
       let fired = List.map (fun v -> v.rule) !violations in
       let base = Filename.basename file in
       match expected_rule file with
@@ -359,6 +425,7 @@ let () =
       end;
       List.iter lint_file files;
       finish_metric_dups ();
+      finish_span_dups ();
       let live =
         List.filter (fun v -> not (allowed allowlist v)) (List.rev !violations)
       in
@@ -373,6 +440,8 @@ let () =
         exit 1
       end
       else
-        Printf.printf "lint: %d file(s) clean (%d metric registrations)\n"
+        Printf.printf
+          "lint: %d file(s) clean (%d metric registrations, %d spans)\n"
           (List.length files)
           (Hashtbl.length metric_sites)
+          (Hashtbl.length span_sites)
