@@ -799,6 +799,52 @@ let run_profile () =
   in
   add_figure "profile" (J.List entries)
 
+(* ------------------------------------------------------------------ *)
+(* Concurrency: multi-client engine under a real request scheduler     *)
+(* ------------------------------------------------------------------ *)
+
+(* The concurrent-engine measurement: aggregate throughput and latency
+   percentiles vs client count, LFS vs FFS, under FCFS vs C-SCAN.
+   LFS's asynchronous log absorbs added clients — throughput keeps
+   scaling with offered load — while FFS's synchronous metadata writes
+   convoy every client behind the disk; C-SCAN buys back positioning
+   time exactly where the device queue runs deep (FFS's scattered
+   write-back), and changes nothing where the log is already
+   sequential. *)
+let run_concurrency () =
+  header "Concurrency: N clients over one instance, FCFS vs C-SCAN";
+  let client_counts = [ 1; 2; 4; 8; 16 ] in
+  let ops = if !quick then 80 else 250 in
+  let disk_mb = if !quick then 48 else 96 in
+  let entries =
+    List.concat_map
+      (fun disc ->
+        List.concat_map
+          (fun clients ->
+            List.map
+              (fun inst ->
+                let config =
+                  {
+                    W.Engine.default with
+                    W.Engine.clients;
+                    ops_per_client = ops;
+                    discipline = Some disc;
+                  }
+                in
+                let r = W.Engine.run ~config inst in
+                say
+                  "%-4s %-5s %2d clients: %7.1f ops/s  p50 %6d us  p99 %7d \
+                   us  qdepth %4.1f  pos %5.0f us"
+                  r.W.Engine.label r.W.Engine.discipline clients
+                  r.W.Engine.ops_per_sec r.W.Engine.p50_us r.W.Engine.p99_us
+                  r.W.Engine.mean_queue_depth r.W.Engine.mean_positioning_us;
+                W.Engine.to_json r)
+              (W.Setup.both ~disk_mb ()))
+          client_counts)
+      [ Lfs_disk.Sched.Fcfs; Lfs_disk.Sched.Cscan ]
+  in
+  add_figure "concurrency" (J.List entries)
+
 let run_ablation_recovery () =
   header "Ablation: crash-recovery time - LFS checkpoint+roll-forward vs\n\
           FFS full-disk scan (fsck)";
@@ -944,12 +990,14 @@ let experiments =
     ("trace", run_trace);
     ("readahead", run_readahead);
     ("profile", run_profile);
+    ("concurrency", run_concurrency);
   ]
 
 let default_order =
   [
-    "fig12"; "fig3"; "fig4"; "fig5"; "readahead"; "profile"; "segsize";
-    "policy"; "util"; "checkpoint"; "recovery"; "scaling"; "cache"; "trace";
+    "fig12"; "fig3"; "fig4"; "fig5"; "readahead"; "profile"; "concurrency";
+    "segsize"; "policy"; "util"; "checkpoint"; "recovery"; "scaling"; "cache";
+    "trace";
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -1046,6 +1094,86 @@ let run_check_json file =
       "count"; "total_us"; "mean_us"; "p50_us"; "p95_us"; "p99_us";
       "cache_us"; "disk_us"; "cleaner_us"; "checkpoint_us";
     ];
+  check_entries "concurrency"
+    [
+      "clients"; "total_ops"; "elapsed_us"; "ops_per_sec"; "mean_us";
+      "p50_us"; "p99_us"; "mean_queue_depth"; "mean_queue_wait_us";
+      "mean_positioning_us";
+    ];
+  (* The concurrency invariants.  (a) LFS aggregate throughput degrades
+     more gracefully than FFS as clients grow: the ratio of throughput
+     at the highest client count to the lowest must be strictly better
+     for LFS under every discipline.  (b) Reordering is a real
+     optimisation, not an accounting fiction: wherever the FCFS run
+     reaches mean queue depth >= 4, the matching C-SCAN run must show
+     strictly lower mean positioning time — and at least one such deep
+     pair must exist, or the figure measured nothing. *)
+  (match List.assoc_opt "concurrency" figs with
+  | Some (J.List entries) ->
+      let str entry field =
+        match J.member field entry with
+        | Some (J.String s) -> s
+        | _ -> fail "concurrency: missing string field %S" field
+      in
+      let find label disc clients field =
+        match
+          List.find_opt
+            (fun e ->
+              str e "label" = label
+              && str e "discipline" = disc
+              && int_of_float (num e "clients") = clients)
+            entries
+        with
+        | Some e -> num e field
+        | None -> fail "concurrency: missing entry %s/%s/%d" label disc clients
+      in
+      let clients_of label disc =
+        List.filter_map
+          (fun e ->
+            if str e "label" = label && str e "discipline" = disc then
+              Some (int_of_float (num e "clients"))
+            else None)
+          entries
+      in
+      List.iter
+        (fun disc ->
+          let cs = clients_of "LFS" disc in
+          if cs = [] then fail "concurrency: no LFS entries for %s" disc;
+          let lo = List.fold_left min (List.hd cs) cs in
+          let hi = List.fold_left max (List.hd cs) cs in
+          if hi <= lo then
+            fail "concurrency: need more than one client count for %s" disc;
+          let ratio label =
+            find label disc hi "ops_per_sec" /. find label disc lo "ops_per_sec"
+          in
+          if ratio "LFS" <= ratio "FFS" then
+            fail
+              "concurrency: LFS throughput ratio %dx->%dx clients (%g) does \
+               not beat FFS (%g) under %s"
+              lo hi (ratio "LFS") (ratio "FFS") disc)
+        [ "fcfs"; "cscan" ];
+      let deep_pairs = ref 0 in
+      List.iter
+        (fun e ->
+          if str e "discipline" = "fcfs" && num e "mean_queue_depth" >= 4.0
+          then begin
+            incr deep_pairs;
+            let label = str e "label" in
+            let clients = int_of_float (num e "clients") in
+            let fcfs_pos = num e "mean_positioning_us" in
+            let cscan_pos = find label "cscan" clients "mean_positioning_us" in
+            if cscan_pos >= fcfs_pos then
+              fail
+                "concurrency: C-SCAN positioning (%g us) not below FCFS (%g \
+                 us) for %s at %d clients (queue depth %g)"
+                cscan_pos fcfs_pos label clients
+                (num e "mean_queue_depth")
+          end)
+        entries;
+      if !deep_pairs = 0 then
+        fail "concurrency: no FCFS run reached mean queue depth >= 4"
+  | Some _ -> fail "figure \"concurrency\" is not a list"
+  | None -> ());
   (* The read-ahead accounting invariant: every prefetched block is
      eventually either consumed (hit) or written off (wasted), never
      both, so the served total cannot exceed what was issued. *)

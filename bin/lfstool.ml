@@ -648,6 +648,104 @@ let cmd_crashtest json files size seed =
   end;
   if violations <> [] then exit 1
 
+(* Concurrent multi-client engine: run N closed-loop clients against
+   scratch LFS and FFS stacks under a chosen disk-scheduling discipline
+   and report aggregate throughput plus latency percentiles.  Exits
+   non-zero if the per-client accounting does not add up. *)
+
+module Engine = Lfs_workload.Engine
+module Sched = Lfs_disk.Sched
+
+let cmd_concurrency clients ops discipline disk_mb per_client json =
+  let disc =
+    match discipline with
+    | "none" | "immediate" -> None
+    | s -> (
+        match Sched.discipline_of_string s with
+        | Some d -> Some d
+        | None ->
+            Printf.eprintf
+              "lfstool: concurrency: unknown discipline %S (want fcfs, scan, \
+               cscan or none)\n"
+              s;
+            exit 2)
+  in
+  let config =
+    {
+      Engine.default with
+      Engine.clients;
+      ops_per_client = ops;
+      discipline = disc;
+    }
+  in
+  let results =
+    List.map
+      (fun inst -> Engine.run ~config inst)
+      (Setup.both ~disk_mb ())
+  in
+  let violations =
+    List.concat_map
+      (fun (r : Engine.result) ->
+        let ops_sum =
+          List.fold_left
+            (fun acc (s : Engine.client_stat) -> acc + s.Engine.ops)
+            0 r.Engine.per_client
+        in
+        (if ops_sum <> r.Engine.total_ops then
+           [
+             Printf.sprintf "%s: per-client ops %d do not sum to total %d"
+               r.Engine.label ops_sum r.Engine.total_ops;
+           ]
+         else [])
+        @
+        if r.Engine.p50_us > r.Engine.p99_us then
+          [ Printf.sprintf "%s: p50 above p99" r.Engine.label ]
+        else [])
+      results
+  in
+  if json then
+    print_endline
+      (Json.to_string_pretty
+         (Json.Obj
+            [
+              ("schema", Json.String "lfs-concurrency/1");
+              ("clients", Json.Int clients);
+              ("ops_per_client", Json.Int ops);
+              ( "discipline",
+                Json.String
+                  (match disc with
+                  | Some d -> Sched.discipline_name d
+                  | None -> "immediate") );
+              ( "systems",
+                Json.List (List.map Engine.to_json results) );
+              ("clean", Json.Bool (violations = []));
+            ]))
+  else
+    List.iter
+      (fun (r : Engine.result) ->
+        Printf.printf
+          "%-4s %s  clients=%d ops=%d  %.1f ops/s  mean=%d us p50=%d us \
+           p99=%d us  qdepth=%.1f qwait=%d us pos=%d us\n"
+          r.Engine.label r.Engine.discipline r.Engine.clients
+          r.Engine.total_ops r.Engine.ops_per_sec
+          (int_of_float r.Engine.mean_us)
+          r.Engine.p50_us r.Engine.p99_us r.Engine.mean_queue_depth
+          (int_of_float r.Engine.mean_queue_wait_us)
+          (int_of_float r.Engine.mean_positioning_us);
+        if per_client then
+          List.iter
+            (fun (s : Engine.client_stat) ->
+              Printf.printf
+                "  client %2d: %4d ops  mean=%d us p50=%d us p99=%d us \
+                 max=%d us\n"
+                s.Engine.client s.Engine.ops
+                (int_of_float s.Engine.mean_us)
+                s.Engine.p50_us s.Engine.p99_us s.Engine.max_us)
+            r.Engine.per_client)
+      results;
+  List.iter (fun v -> Printf.eprintf "concurrency: %s\n" v) violations;
+  if violations <> [] then exit 1
+
 (* Cmdliner plumbing *)
 
 open Cmdliner
@@ -863,6 +961,53 @@ let () =
                sticky-bad so recovery must fall back to region B.  \
                Exits non-zero if any replay violates the durable model.")
          Term.(const cmd_crashtest $ json $ files $ size $ seed));
+      (let clients =
+         Arg.(
+           value & opt int 4
+           & info [ "clients" ] ~doc:"Number of concurrent clients.")
+       in
+       let ops =
+         Arg.(
+           value & opt int 150
+           & info [ "ops" ] ~doc:"Operations per client.")
+       in
+       let discipline =
+         Arg.(
+           value & opt string "fcfs"
+           & info [ "discipline" ]
+               ~doc:
+                 "Disk request scheduling discipline: fcfs, scan, cscan, \
+                  or none (immediate issue-order service)."
+               ~docv:"DISC")
+       in
+       let disk_mb =
+         Arg.(
+           value & opt int 64
+           & info [ "disk-mb" ] ~doc:"Scratch disk size in MB.")
+       in
+       let per_client =
+         Arg.(
+           value & flag
+           & info [ "per-client" ]
+               ~doc:"Also print each client's latency percentiles.")
+       in
+       let json =
+         Arg.(
+           value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+       in
+       Cmd.v
+         (Cmd.info "concurrency"
+            ~doc:
+              "Run the concurrent multi-client engine on scratch LFS and \
+               FFS stacks (no image needed): N closed-loop clients with \
+               Zipf-skewed op streams and think times, multiplexed over \
+               one instance with a real disk request queue.  Reports \
+               aggregate throughput, latency percentiles, queue depth \
+               and mean positioning time per system.  Exits non-zero if \
+               the per-client accounting does not add up.")
+         Term.(
+           const cmd_concurrency $ clients $ ops $ discipline $ disk_mb
+           $ per_client $ json));
     ]
   in
   exit

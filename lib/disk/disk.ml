@@ -27,6 +27,7 @@ type t = {
   c_sectors_written : Metrics.counter;
   c_seeks : Metrics.counter;
   c_busy_us : Metrics.counter;
+  c_positioning_us : Metrics.counter;
   mutable head_cyl : int;
   mutable next_sector : int;  (* sector following the last transfer *)
   mutable last_end_us : int;  (* simulated time the last transfer finished *)
@@ -48,6 +49,7 @@ let create geometry =
     c_sectors_written = Metrics.counter metrics "disk.sectors_written";
     c_seeks = Metrics.counter metrics "disk.seeks";
     c_busy_us = Metrics.counter metrics "disk.busy_us";
+    c_positioning_us = Metrics.counter metrics "disk.positioning_us";
     head_cyl = 0;
     next_sector = 0;
     last_end_us = 0;
@@ -77,7 +79,9 @@ let stats t =
 
 let seek_count t = Metrics.value t.c_seeks
 let busy_us t = Metrics.value t.c_busy_us
+let positioning_us t = Metrics.value t.c_positioning_us
 let last_was_streamed t = t.last_streamed
+let head_sector t = t.next_sector
 
 let reset_stats t = Metrics.reset_prefix t.metrics "disk."
 
@@ -119,6 +123,7 @@ let service ?start_us t ~sector ~count =
       seek + Geometry.avg_rotational_latency_us g
     end
   in
+  Metrics.add t.c_positioning_us positioning;
   let total = positioning + Geometry.transfer_us g ~sectors:count in
   t.head_cyl <- Geometry.cylinder_of_sector g (sector + count - 1);
   t.next_sector <- sector + count;

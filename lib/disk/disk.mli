@@ -66,6 +66,17 @@ val seek_count : t -> int
 
 val busy_us : t -> int
 
+val positioning_us : t -> int
+(** Cheap accessor for [disk.positioning_us]: total time spent seeking
+    and waiting for rotation across all requests (service time minus
+    pure transfer).  The quantity a reordering scheduler minimizes. *)
+
+val head_sector : t -> int
+(** Current head position as a sector number — the sector following the
+    last transfer.  A request starting exactly here streams with no
+    positioning delay; a request scheduler uses this as the sweep
+    position for SCAN/C-SCAN. *)
+
 val last_was_streamed : t -> bool
 (** Whether the most recent request started exactly where the previous
     transfer ended (an exact continuation of the access pattern).  This

@@ -22,6 +22,8 @@ type t = {
   h_read_us : Metrics.histogram;
   h_write_us : Metrics.histogram;
   h_request_sectors : Metrics.histogram;
+  h_queue_depth : Metrics.histogram;
+  h_queue_wait : Metrics.histogram;
   c_clustered_reads : Metrics.counter;
   c_clustered_read_blocks : Metrics.counter;
   c_clustered_writes : Metrics.counter;
@@ -32,6 +34,8 @@ type t = {
   read_attempts : int;
   retry_backoff_us : int;
   mutable busy_until_us : int;
+  mutable sched : Sched.t option;  (* None = immediate issue-order service *)
+  mutable max_queue : int;
   mutable audit : Bus.sink option;  (* the legacy request log, as a sink *)
 }
 
@@ -51,6 +55,8 @@ let create ?(max_backlog_us = 2_000_000) ?(read_attempts = 4)
     h_read_us = Metrics.histogram metrics "io.read_us";
     h_write_us = Metrics.histogram metrics "io.write_us";
     h_request_sectors = Metrics.histogram metrics "io.request_sectors";
+    h_queue_depth = Metrics.histogram metrics "io.queue.depth";
+    h_queue_wait = Metrics.histogram metrics "io.queue.wait_us";
     c_clustered_reads = Metrics.counter metrics "io.clustered_reads";
     c_clustered_read_blocks = Metrics.counter metrics "io.clustered_read_blocks";
     c_clustered_writes = Metrics.counter metrics "io.clustered_writes";
@@ -62,6 +68,8 @@ let create ?(max_backlog_us = 2_000_000) ?(read_attempts = 4)
     read_attempts;
     retry_backoff_us;
     busy_until_us = 0;
+    sched = None;
+    max_queue = 32;
     audit = None;
   }
 
@@ -101,61 +109,185 @@ let record t ~kind ~sync ~sector ~sectors ~service_us ~sequential =
 
 let sector_size t = (Disk.geometry t.disk).Geometry.sector_size
 
-(* The device serves requests in issue order; a request begins when both
-   the caller and the device are ready. *)
+(* Without a scheduler the device serves requests in issue order; a
+   request begins when both the caller and the device are ready. *)
 let start_time t = max (now_us t) t.busy_until_us
 
-(* A failed read attempt costs only the retry backoff: the fault hook
-   rejects the request before the device computes a service time, so the
-   head never moves and the clock advances by the (exponentially
-   growing) wait between attempts. *)
+let emit_queue t ~action ~kind ~sector ~sectors ~depth ~wait_us =
+  if Bus.enabled t.bus then
+    Bus.emit t.bus
+      (Event.Disk_queue
+         {
+           action;
+           kind = (match kind with `Read -> Event.Read | `Write -> Event.Write);
+           sector;
+           sectors;
+           depth;
+           wait_us;
+         })
+
+(* Retry loop shared by the immediate and queued read paths.  A failed
+   attempt costs only the retry backoff: the fault hook rejects the
+   request before the device computes a service time, so the head never
+   moves and the clock advances by the (exponentially growing) wait
+   between attempts. *)
+let read_with_retries t ~start ~sector ~count ~sync =
+  let rec attempt n =
+    match Disk.read ~start_us:(start ()) t.disk ~sector ~count with
+    | data, service_us ->
+        let sequential = Disk.last_was_streamed t.disk in
+        record t ~kind:`Read ~sync ~sector ~sectors:count ~service_us
+          ~sequential;
+        t.busy_until_us <- start () + service_us;
+        data
+    | exception Disk.Read_fault _ ->
+        if n >= t.read_attempts then raise (Read_failed { sector; attempts = n })
+        else begin
+          Metrics.incr t.c_retries;
+          let backoff = t.retry_backoff_us * (1 lsl (n - 1)) in
+          Metrics.add t.c_backoff_us backoff;
+          Clock.advance_us t.clock backoff;
+          attempt (n + 1)
+        end
+  in
+  attempt 1
+
+(* Service one queued request.  The device worked through the queue in
+   the background: the request starts when the device is free and the
+   request has arrived — time that may already lie in the past by the
+   moment the dispatch order is decided (lazy dispatch still charges the
+   device as if it ran continuously).  Returns the payload for reads. *)
+let dispatch_entry t q (e : Sched.entry) =
+  let start () = max t.busy_until_us e.Sched.arrival_us in
+  let wait_us = start () - e.Sched.arrival_us in
+  let depth = Sched.length q in
+  let payload =
+    match e.Sched.kind with
+    | `Write ->
+        let data = Option.get e.Sched.data in
+        let service_us =
+          Disk.write ~start_us:(start ()) t.disk ~sector:e.Sched.sector data
+        in
+        record t ~kind:`Write ~sync:e.Sched.sync ~sector:e.Sched.sector
+          ~sectors:e.Sched.count ~service_us
+          ~sequential:(Disk.last_was_streamed t.disk);
+        t.busy_until_us <- start () + service_us;
+        None
+    | `Read ->
+        Some
+          (read_with_retries t ~start ~sector:e.Sched.sector
+             ~count:e.Sched.count ~sync:e.Sched.sync)
+  in
+  Metrics.observe t.h_queue_wait wait_us;
+  emit_queue t ~action:`Dispatch ~kind:e.Sched.kind ~sector:e.Sched.sector
+    ~sectors:e.Sched.count ~depth ~wait_us;
+  payload
+
+(* The oldest entry is always eligible, so a non-empty queue always
+   dispatches: no livelock. *)
+let dispatch_next t q =
+  match Sched.select q ~head:(Disk.head_sector t.disk) with
+  | None -> None
+  | Some e -> Some (e, dispatch_entry t q e)
+
+let dispatch_all t =
+  match t.sched with
+  | None -> ()
+  | Some q ->
+      let rec go () = if dispatch_next t q <> None then go () in
+      go ()
+
+(* Dispatch in discipline order until the entry [id] has been serviced;
+   returns its read payload.  Requests the discipline ranks ahead of the
+   target are serviced first — this is the convoy a synchronous caller
+   pays behind a deep queue. *)
+let dispatch_until t q ~id =
+  let rec go () =
+    match dispatch_next t q with
+    | None -> None
+    | Some (e, payload) -> if e.Sched.id = id then payload else go ()
+  in
+  go ()
+
+let enqueue t q ~kind ~sync ~sector ~count ~data =
+  let e =
+    Sched.enqueue q ~kind ~sync ~sector ~count ~data ~arrival_us:(now_us t)
+  in
+  Metrics.observe t.h_queue_depth (Sched.length q);
+  emit_queue t ~action:`Enqueue ~kind ~sector ~sectors:count
+    ~depth:(Sched.length q) ~wait_us:0;
+  e
+
 let sync_read t ~sector ~count =
   let go () =
-    let rec attempt n =
-      match Disk.read ~start_us:(start_time t) t.disk ~sector ~count with
-      | data, service_us ->
-          let sequential = Disk.last_was_streamed t.disk in
-          record t ~kind:`Read ~sync:true ~sector ~sectors:count ~service_us
-            ~sequential;
-          Clock.advance_to_us t.clock (start_time t + service_us);
-          t.busy_until_us <- Clock.now_us t.clock;
-          data
-      | exception Disk.Read_fault _ ->
-          if n >= t.read_attempts then
-            raise (Read_failed { sector; attempts = n })
-          else begin
-            Metrics.incr t.c_retries;
-            let backoff = t.retry_backoff_us * (1 lsl (n - 1)) in
-            Metrics.add t.c_backoff_us backoff;
-            Clock.advance_us t.clock backoff;
-            attempt (n + 1)
-          end
-    in
-    attempt 1
+    match t.sched with
+    | None ->
+        let data =
+          read_with_retries t
+            ~start:(fun () -> start_time t)
+            ~sector ~count ~sync:true
+        in
+        Clock.advance_to_us t.clock t.busy_until_us;
+        data
+    | Some q ->
+        let e = enqueue t q ~kind:`Read ~sync:true ~sector ~count ~data:None in
+        let data =
+          match dispatch_until t q ~id:e.Sched.id with
+          | Some d -> d
+          | None -> assert false
+        in
+        Clock.advance_to_us t.clock t.busy_until_us;
+        data
   in
   (* The span covers the retry loop too: backoff waits are disk time. *)
   if Bus.enabled t.bus then Bus.with_span t.bus "io_read" go else go ()
 
 let sync_write t ~sector data =
   let go () =
-    let start = start_time t in
-    let service_us = Disk.write ~start_us:start t.disk ~sector data in
-    let sectors = Bytes.length data / sector_size t in
-    let sequential = Disk.last_was_streamed t.disk in
-    record t ~kind:`Write ~sync:true ~sector ~sectors ~service_us ~sequential;
-    Clock.advance_to_us t.clock (start + service_us);
-    t.busy_until_us <- Clock.now_us t.clock
+    match t.sched with
+    | None ->
+        let start = start_time t in
+        let service_us = Disk.write ~start_us:start t.disk ~sector data in
+        let sectors = Bytes.length data / sector_size t in
+        let sequential = Disk.last_was_streamed t.disk in
+        record t ~kind:`Write ~sync:true ~sector ~sectors ~service_us
+          ~sequential;
+        Clock.advance_to_us t.clock (start + service_us);
+        t.busy_until_us <- Clock.now_us t.clock
+    | Some q ->
+        let count = Bytes.length data / sector_size t in
+        let e =
+          enqueue t q ~kind:`Write ~sync:true ~sector ~count ~data:(Some data)
+        in
+        ignore (dispatch_until t q ~id:e.Sched.id : bytes option);
+        Clock.advance_to_us t.clock t.busy_until_us
   in
   if Bus.enabled t.bus then Bus.with_span t.bus "io_write" go else go ()
 
 let async_write t ~sector data =
   let go () =
-    let start = start_time t in
-    let service_us = Disk.write ~start_us:start t.disk ~sector data in
-    let sectors = Bytes.length data / sector_size t in
-    let sequential = Disk.last_was_streamed t.disk in
-    record t ~kind:`Write ~sync:false ~sector ~sectors ~service_us ~sequential;
-    t.busy_until_us <- start + service_us;
+    (match t.sched with
+    | None ->
+        let start = start_time t in
+        let service_us = Disk.write ~start_us:start t.disk ~sector data in
+        let sectors = Bytes.length data / sector_size t in
+        let sequential = Disk.last_was_streamed t.disk in
+        record t ~kind:`Write ~sync:false ~sector ~sectors ~service_us
+          ~sequential;
+        t.busy_until_us <- start + service_us
+    | Some q ->
+        let count = Bytes.length data / sector_size t in
+        (* The queue owns the payload from here: copy so a caller reusing
+           its buffer cannot retroactively change a pending write. *)
+        let (_ : Sched.entry) =
+          enqueue t q ~kind:`Write ~sync:false ~sector ~count
+            ~data:(Some (Bytes.copy data))
+        in
+        (* Bounded queue: past [max_queue] pending requests the device
+           must make room before the caller may continue. *)
+        while Sched.length q > t.max_queue do
+          ignore (dispatch_next t q : (Sched.entry * bytes option) option)
+        done);
     (* Writer throttling: the application may run ahead of the disk only by
        the write-buffer depth. *)
     if t.busy_until_us - Clock.now_us t.clock > t.max_backlog_us then
@@ -173,16 +305,42 @@ let note_clustered_write t ~blocks =
   Metrics.incr t.c_clustered_writes;
   Metrics.add t.c_clustered_write_blocks blocks
 
+let queue_depth t = match t.sched with None -> 0 | Some q -> Sched.length q
+
 let drain t =
+  let pending =
+    queue_depth t > 0 || t.busy_until_us > Clock.now_us t.clock
+  in
+  let go () =
+    dispatch_all t;
+    Clock.advance_to_us t.clock t.busy_until_us
+  in
   (* Only span an actual wait — a no-op drain would add zero-length spans
      to every sync. *)
-  if Bus.enabled t.bus && t.busy_until_us > Clock.now_us t.clock then
-    Bus.with_span t.bus "io_drain" (fun () ->
-        Clock.advance_to_us t.clock t.busy_until_us)
-  else Clock.advance_to_us t.clock t.busy_until_us
+  if Bus.enabled t.bus && pending then Bus.with_span t.bus "io_drain" go
+  else go ()
+
+let scheduler t = Option.map Sched.discipline t.sched
+
+let set_scheduler ?(max_queue = 32) t d =
+  if max_queue < 1 then invalid_arg "Io.set_scheduler: max_queue < 1";
+  (* Flush any pending queue under the old policy before switching, so a
+     policy change can never reorder requests issued before it. *)
+  dispatch_all t;
+  t.max_queue <- max_queue;
+  t.sched <- Option.map Sched.create d
+
 let disk_stats t = Disk.stats t.disk
-let snapshot_media t = Disk.snapshot t.disk
-let restore_media t media = Disk.restore t.disk media
+
+let snapshot_media t =
+  (* Pending queued writes belong on the snapshot: flush them to the
+     device (extending its busy horizon) without advancing the clock. *)
+  dispatch_all t;
+  Disk.snapshot t.disk
+
+let restore_media t media =
+  (match t.sched with Some q -> Sched.clear q | None -> ());
+  Disk.restore t.disk media
 
 let backlog_us t = max 0 (t.busy_until_us - Clock.now_us t.clock)
 

@@ -13,6 +13,17 @@
     - [drain] waits for the device to go idle ([sync]/[fsync], and phase
       boundaries in benchmarks).
 
+    By default requests are serviced immediately in issue order (the
+    single-caller model).  {!set_scheduler} installs a real per-device
+    request queue with a {!Sched.discipline}: asynchronous writes pool
+    in the queue and are dispatched in discipline order — head position
+    and queue depth then determine positioning cost, so reordering
+    (SCAN/C-SCAN) is a measurable optimisation.  Synchronous requests
+    join the same queue and wait for their turn, which models the convoy
+    a synchronous caller suffers behind a deep queue.  Overlapping
+    requests never reorder (see {!Sched}), so data semantics are
+    unchanged.
+
     Every request is published on the instance's {!Lfs_obs.Bus} as a
     [Disk_request] event and observed in the [io.*] registry histograms;
     the legacy request log ({!set_recording}/{!requests}) is a thin view
@@ -95,18 +106,44 @@ val sync_read : t -> sector:int -> count:int -> bytes
 val sync_write : t -> sector:int -> bytes -> unit
 val async_write : t -> sector:int -> bytes -> unit
 val drain : t -> unit
-(** Advance the clock until the device is idle. *)
+(** Dispatch any queued requests and advance the clock until the device
+    is idle. *)
+
+(** {1 Request scheduling} *)
+
+val set_scheduler : ?max_queue:int -> t -> Sched.discipline option -> unit
+(** Install a request-scheduling discipline (or revert to immediate
+    issue-order service with [None]).  Any requests pending under the
+    previous policy are dispatched first, so a policy change can never
+    reorder requests issued before it.
+
+    With a scheduler installed, [async_write] enqueues and returns; the
+    queue is bounded at [max_queue] requests (default 32) — beyond that
+    the caller dispatches until the queue fits, then the
+    [max_backlog_us] throttle applies as before.  [sync_read] /
+    [sync_write] enqueue themselves and dispatch in discipline order
+    until serviced.  Queue activity is published as [Disk_queue] bus
+    events and observed in [io.queue.depth] / [io.queue.wait_us]. *)
+
+val scheduler : t -> Sched.discipline option
+(** The installed discipline, if any. *)
+
+val queue_depth : t -> int
+(** Number of requests currently pending in the scheduler queue (0 when
+    no scheduler is installed). *)
 
 val disk_stats : t -> Disk.stats
 (** [Disk.stats (disk t)] — the sanctioned way for workloads and bench
     code to read device counters without naming [Disk]. *)
 
 val snapshot_media : t -> bytes
-(** Copy of the underlying media ({!Disk.snapshot}). *)
+(** Copy of the underlying media ({!Disk.snapshot}).  Queued writes are
+    dispatched first (without advancing the clock) so the snapshot
+    reflects everything issued. *)
 
 val restore_media : t -> bytes -> unit
 (** Overwrite the media from a snapshot ({!Disk.restore}); device head
-    state is reset. *)
+    state is reset and any queued requests are discarded. *)
 
 val note_clustered_read : t -> blocks:int -> unit
 (** Account one multi-block read request that replaced [blocks]

@@ -25,6 +25,15 @@ type t =
   | Rollforward of { seg : int; seq : int; entries : int }
   | Ffs_sync_write of { what : string; sector : int; sectors : int }
   | Fault_injected of { kind : string; sector : int; sectors : int }
+  | Disk_queue of {
+      action : [ `Enqueue | `Dispatch ];
+      kind : disk_kind;
+      sector : int;
+      sectors : int;
+      depth : int;
+      wait_us : int;
+    }
+  | Client_op of { client : int; op : string; latency_us : int }
   | Span_begin of { name : string; depth : int }
   | Span_end of { name : string; depth : int; elapsed_us : int }
   | Note of { name : string; fields : (string * Json.t) list }
@@ -44,6 +53,8 @@ let name = function
   | Rollforward _ -> "rollforward"
   | Ffs_sync_write _ -> "ffs_sync_write"
   | Fault_injected _ -> "fault_injected"
+  | Disk_queue _ -> "disk_queue"
+  | Client_op _ -> "client_op"
   | Span_begin _ -> "span_begin"
   | Span_end _ -> "span_end"
   | Note _ -> "note"
@@ -101,6 +112,24 @@ let fields = function
         ("kind", Json.String kind);
         ("sector", Json.Int sector);
         ("sectors", Json.Int sectors);
+      ]
+  | Disk_queue { action; kind; sector; sectors; depth; wait_us } ->
+      [
+        ( "action",
+          Json.String
+            (match action with `Enqueue -> "enqueue" | `Dispatch -> "dispatch")
+        );
+        ("kind", Json.String (match kind with Read -> "read" | Write -> "write"));
+        ("sector", Json.Int sector);
+        ("sectors", Json.Int sectors);
+        ("depth", Json.Int depth);
+        ("wait_us", Json.Int wait_us);
+      ]
+  | Client_op { client; op; latency_us } ->
+      [
+        ("client", Json.Int client);
+        ("op", Json.String op);
+        ("latency_us", Json.Int latency_us);
       ]
   | Span_begin { name; depth } ->
       [ ("name", Json.String name); ("depth", Json.Int depth) ]

@@ -35,6 +35,24 @@ type t =
           one of ["crash"], ["torn_write"], ["read_error"] or
           ["bad_sector"]; [sector]/[sectors] locate the affected
           request. *)
+  | Disk_queue of {
+      action : [ `Enqueue | `Dispatch ];
+      kind : disk_kind;
+      sector : int;
+      sectors : int;
+      depth : int;  (** queue depth just after the action *)
+      wait_us : int;
+          (** dispatch only: simulated time the request waited between
+              arrival and reaching the device *)
+    }
+      (** Request-queue activity when a scheduling discipline is
+          installed on {!Lfs_disk.Io} ([`Enqueue]: a request entered the
+          queue; [`Dispatch]: the discipline handed it to the device). *)
+  | Client_op of { client : int; op : string; latency_us : int }
+      (** One completed operation of a concurrent-engine client: [op] is
+          the operation name (["create"], ["read"], ["overwrite"],
+          ["delete"]), [latency_us] the end-to-end simulated latency
+          including queueing behind other clients. *)
   | Span_begin of { name : string; depth : int }
   | Span_end of { name : string; depth : int; elapsed_us : int }
   | Note of { name : string; fields : (string * Json.t) list }

@@ -6,6 +6,7 @@ let () =
       ("vfs", Test_vfs.suite);
       ("codecs", Test_codecs.suite);
       ("disk", Test_disk.suite);
+      ("sched", Test_sched.suite);
       ("obs", Test_obs.suite);
       ("profile", Test_profile.suite);
       ("lfs-basic", Test_lfs_basic.suite);
@@ -19,6 +20,7 @@ let () =
       ("ffs-alloc", Test_ffs_alloc.suite);
       ("readahead", Test_readahead.suite);
       ("workload", Test_workload.suite);
+      ("engine", Test_engine.suite);
       ("crashpoint", Test_crashpoint.suite);
       ("trace", Test_trace.suite);
       ("misc", Test_misc.suite);

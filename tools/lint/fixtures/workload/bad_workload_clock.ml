@@ -1,0 +1,9 @@
+(* expect: workload-clock *)
+(* A think-time callback advancing the clock itself: under the
+   concurrent engine this would move time underneath every other
+   client's pending op, skewing their latencies.  Time advancement
+   belongs to the event loop (engine.ml) and the Io layer. *)
+
+let slow_op io =
+  Lfs_disk.Clock.advance_us (Lfs_disk.Io.clock io) 5_000;
+  Lfs_disk.Io.sync_read io ~sector:0 ~count:1

@@ -36,6 +36,12 @@
                   harnesses go through Io (and Faulty for fault
                   injection), so every access is scheduled, counted, and
                   interceptable by a fault scenario
+     workload-clock  workload and bench code never advances the Clock
+                  directly (advance_us / advance_to_us): under the
+                  concurrent engine, time moves only through the event
+                  loop and the Io layer, so a callback that pushes the
+                  clock forward would skew every other client's latency
+                  (engine.ml, which owns the loop, is allowlisted)
 
    Scope notes: bench/ is exempt from the stdout rule (its job is to
    print reports) and from metric registration collection (it reads
@@ -93,6 +99,12 @@ let is_disk_value s =
   | _ :: "Disk" :: _ -> true
   | _ -> false
 
+let is_clock_advance s =
+  let tails = [ "Clock.advance_us"; "Clock.advance_to_us" ] in
+  List.exists
+    (fun tail -> s = tail || String.ends_with ~suffix:("." ^ tail) s)
+    tails
+
 let is_disk_io s =
   s = "Disk.read" || s = "Disk.write"
   || String.ends_with ~suffix:".Disk.read" s
@@ -143,7 +155,7 @@ let span_name_ok name =
          (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_')
        name
 
-let metric_prefixes = [ "disk"; "io"; "cache"; "lfs"; "ffs" ]
+let metric_prefixes = [ "disk"; "io"; "cache"; "lfs"; "ffs"; "engine" ]
 
 let metric_name_ok name =
   match String.split_on_char '.' name with
@@ -168,6 +180,12 @@ let check_ident ~file s loc =
       (Printf.sprintf
          "%s: workloads and benchmarks must go through Io (or Faulty), \
           never the raw Disk"
+         s)
+  else if workload_ctx file && is_clock_advance s then
+    report ~rule:"workload-clock" ~file ~line
+      (Printf.sprintf
+         "%s: time moves only through the engine's event loop and the Io \
+          layer, never by direct Clock advancement"
          s)
   else if is_disk_io s then
     report ~rule:"disk-io" ~file ~line
