@@ -1,0 +1,11 @@
+(* expect: span-unsafe *)
+(* A raw span_begin whose span_end is only on the normal return path:
+   when crash injection raises between them, the profiler's span stack
+   is left holding a frame that will swallow the next span_end and
+   corrupt the whole tree.  Use Bus.with_span, which closes the span on
+   the raise path too. *)
+let timed_fill bus f =
+  Bus.span_begin bus "unsafe_fill";
+  let v = f () in
+  Bus.span_end bus "unsafe_fill";
+  v

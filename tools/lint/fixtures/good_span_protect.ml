@@ -1,0 +1,10 @@
+(* A raw span balanced through Fun.protect: ~finally runs span_end on
+   both the return and the raise path, so this is exception-safe
+   without Bus.with_span (e.g. when the closing site needs state the
+   with_span callback cannot carry).  Must produce zero violations. *)
+let timed_drain bus f =
+  Fun.protect
+    ~finally:(fun () -> Bus.span_end bus "protected_drain")
+    (fun () ->
+      Bus.span_begin bus "protected_drain";
+      f ())

@@ -1,0 +1,7 @@
+(* expect: transitive-disk-io *)
+(* The acceptance fixture: the forbidden effect is TWO calls away
+   (warm -> Lfs_core.Helper.relay -> Rawpoke.nudge -> Disk.write).
+   Neither Disk nor Rawpoke is named in this file, so every per-file
+   syntactic rule stays silent; only the whole-program fixpoint sees
+   that warming the cache bypasses Io's request accounting. *)
+let warm d = Lfs_core.Helper.relay d

@@ -1,0 +1,5 @@
+(* expect: transitive-nondet *)
+(* Reaches the global Random state through a helper: the run is no
+   longer reproducible from the seed, though Random never appears in
+   this file. *)
+let shuffle_seed () = Lfs_util.Entropy.roll ()

@@ -1,0 +1,4 @@
+(* expect: transitive-disk-io *)
+(* One call away from the raw site: Disk never appears here, so the
+   syntactic rule is blind; the effect summary is not. *)
+let relay d = Rawpoke.nudge d

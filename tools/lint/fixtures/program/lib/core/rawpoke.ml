@@ -1,0 +1,4 @@
+(* expect: disk-io *)
+(* The raw site: a core helper touching the device directly.  Caught
+   by the old syntactic rule — Disk appears in this file. *)
+let nudge d = Disk.write d 0 (Bytes.create 512)

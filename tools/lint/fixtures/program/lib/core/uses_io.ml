@@ -1,0 +1,7 @@
+(* expect: clean *)
+(* Disk access through the sanctioned layer, via a module alias: the
+   alias is expanded, the call resolves into Io, and Io's absorption
+   stops the DiskIO effect from propagating here. *)
+module Io = Lfs_disk.Io
+
+let load d blkno = Io.sync_read d blkno

@@ -1,0 +1,3 @@
+(* expect: nondet *)
+(* The raw ambient-nondeterminism site (global Random state). *)
+let roll () = Random.int 6

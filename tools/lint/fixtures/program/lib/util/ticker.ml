@@ -1,0 +1,5 @@
+(* expect: clean *)
+(* Direct clock advancement is legal outside workload/bench context
+   (the Io layer does exactly this); the confinement rule is about who
+   may *reach* it from the driving side. *)
+let tick c = Clock.advance_us c 10_000

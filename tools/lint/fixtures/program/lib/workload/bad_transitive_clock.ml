@@ -1,0 +1,5 @@
+(* expect: transitive-clock *)
+(* A workload helper advancing time through an innocent-looking utility:
+   Clock never appears here, but the summary shows the call advances
+   time underneath every other client's pending op. *)
+let run c = Lfs_util.Ticker.tick c

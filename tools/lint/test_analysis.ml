@@ -1,0 +1,218 @@
+(* Unit tests for the whole-program analyzer core: call-graph
+   construction (mutual recursion, include, aliased modules, unknown
+   callees) and the effect fixpoint reaching a least fixed point on
+   cyclic graphs.  Sources are given inline as (path, text) pairs; the
+   paths choose the module naming and rule contexts exactly as real
+   files would. *)
+
+module A = Analysis
+
+let failures = ref 0
+
+let check name cond =
+  if cond then Printf.printf "test %-42s ok\n" name
+  else begin
+    incr failures;
+    Printf.printf "test %-42s FAILED\n" name
+  end
+
+let def program dotted =
+  match A.def_by_name program dotted with
+  | Some d -> d
+  | None ->
+      incr failures;
+      Printf.printf "test: no def named %s\n" dotted;
+      exit 1
+
+let has program dotted eff = List.mem eff (A.full_effects (def program dotted))
+
+let rules_of program file =
+  List.filter_map
+    (fun (v : A.violation) -> if v.A.file = file then Some v.A.rule else None)
+    program.A.p_violations
+
+(* --- mutual recursion: both members of the cycle get the effect --- *)
+
+let () =
+  let program =
+    A.analyze
+      [
+        ( "lib/core/mut.ml",
+          "let rec ping d n = if n = 0 then 0 else pong d (n - 1)\n\
+           and pong d n = ignore (Third_party_disk.poke d); ping d n\n" );
+      ]
+  in
+  check "mutual recursion: effect reaches both"
+    (has program "Lfs_core.Mut.ping" "DiskIO"
+    && has program "Lfs_core.Mut.pong" "DiskIO");
+  check "mutual recursion: call edges both ways"
+    (A.callee_names (def program "Lfs_core.Mut.ping") = [ "Lfs_core.Mut.pong" ]
+    && A.callee_names (def program "Lfs_core.Mut.pong")
+       = [ "Lfs_core.Mut.ping" ])
+
+(* --- pure cycle: least fixed point is the empty summary --- *)
+
+let () =
+  let program =
+    A.analyze
+      [
+        ( "lib/core/cyc.ml",
+          "let rec even n = if n = 0 then true else odd (n - 1)\n\
+           and odd n = if n = 0 then false else even (n - 1)\n" );
+      ]
+  in
+  check "pure cycle: least fixpoint has no effects"
+    (A.full_effects (def program "Lfs_core.Cyc.even") = []
+    && A.full_effects (def program "Lfs_core.Cyc.odd") = [])
+
+(* --- raw disk through two modules; include and alias resolution --- *)
+
+let sources =
+  [
+    (* the raw site: a module that pokes the disk directly *)
+    ( "lib/core/rawpoke.ml",
+      "let nudge d = Disk.write d 0 (Bytes.create 512)\n" );
+    (* re-export through include: B's callers reach A's bindings *)
+    ("lib/core/reexport.ml", "include Rawpoke\n\nlet noop () = ()\n");
+    (* alias to the re-export, call through the alias *)
+    ( "lib/cache/warm.ml",
+      "module R = Lfs_core.Reexport\n\nlet fill d = R.nudge d\n" );
+    (* two calls away from the raw site *)
+    ("lib/lfs/deep.ml", "let boot d = Lfs_cache.Warm.fill d\n");
+  ]
+
+let () =
+  let program = A.analyze sources in
+  check "raw site flagged syntactically"
+    (List.mem "disk-io" (rules_of program "lib/core/rawpoke.ml"));
+  check "include: re-export inherits and is flagged"
+    (List.mem "transitive-disk-io" (rules_of program "lib/cache/warm.ml"));
+  check "alias: call via module alias resolves"
+    (has program "Lfs_cache.Warm.fill" "DiskIO");
+  check "two calls away: transitive rule fires"
+    (List.mem "transitive-disk-io" (rules_of program "lib/lfs/deep.ml"));
+  check "two calls away: syntactic rules silent"
+    (not (List.mem "disk-io" (rules_of program "lib/lfs/deep.ml")));
+  check "witness chain names the raw primitive"
+    (List.exists
+       (fun (v : A.violation) ->
+         v.A.file = "lib/lfs/deep.ml"
+         && v.A.rule = "transitive-disk-io"
+         && String.length v.A.message > 0)
+       program.A.p_violations)
+
+(* --- absorption: the sanctioned layer stops propagation --- *)
+
+let () =
+  let program =
+    A.analyze
+      [
+        ( "lib/disk/io.ml",
+          "let sync_read d blkno = Disk.read d blkno\n" );
+        ( "lib/cache/user.ml",
+          "module Io = Lfs_disk.Io\n\nlet load d b = Io.sync_read d b\n" );
+      ]
+  in
+  check "absorption: Io caller stays clean"
+    (not
+       (List.mem "transitive-disk-io" (rules_of program "lib/cache/user.ml")));
+  check "absorption: Io itself still flagged syntactically"
+    (List.mem "disk-io" (rules_of program "lib/disk/io.ml"));
+  check "absorption: exposure masked, work recorded"
+    (A.expose_effects (def program "Lfs_disk.Io.sync_read") = []
+    && has program "Lfs_disk.Io.sync_read" "DiskIO")
+
+(* --- unknown callee fails closed to every effect --- *)
+
+let () =
+  let program =
+    A.analyze
+      [ ("lib/core/mystery.ml", "let go x = Third_party.transmogrify x\n") ]
+  in
+  check "unknown module: every effect assumed"
+    (has program "Lfs_core.Mystery.go" "DiskIO"
+    && has program "Lfs_core.Mystery.go" "AmbientNondet");
+  check "unknown module: transitive rule fires"
+    (List.mem "transitive-disk-io" (rules_of program "lib/core/mystery.ml"))
+
+(* --- benign foreign modules carry no effect --- *)
+
+let () =
+  let program =
+    A.analyze
+      [
+        ( "lib/core/tidy.ml",
+          "let total xs = List.fold_left ( + ) 0 xs\n\
+           let pick c = Rng.int c 10\n" );
+      ]
+  in
+  check "benign modules: stdlib and project layers clean"
+    (rules_of program "lib/core/tidy.ml" = [])
+
+(* --- transitive clock: only workload/bench context is confined --- *)
+
+let clock_sources tick_path =
+  [
+    ( "lib/util/ticker.ml",
+      "let tick c = Clock.advance_us c 10_000\n" );
+    (tick_path, "let run c = Ticker.tick c\n");
+  ]
+
+let () =
+  let program = A.analyze (clock_sources "lib/workload/pulse.ml") in
+  check "transitive clock: workload caller flagged"
+    (List.mem "transitive-clock" (rules_of program "lib/workload/pulse.ml"));
+  let program = A.analyze (clock_sources "lib/cache/pulse.ml") in
+  check "transitive clock: non-workload caller exempt"
+    (not (List.mem "transitive-clock" (rules_of program "lib/cache/pulse.ml")))
+
+(* --- span safety: raw begin flagged, Fun.protect accepted --- *)
+
+let () =
+  let program =
+    A.analyze
+      [
+        ( "lib/cache/spans.ml",
+          "let bad bus f =\n\
+          \  Bus.span_begin bus \"cache_fill\";\n\
+          \  let r = f () in\n\
+          \  Bus.span_end bus \"cache_fill\";\n\
+          \  r\n\n\
+           let good bus f =\n\
+          \  Fun.protect\n\
+          \    ~finally:(fun () -> Bus.span_end bus \"cache_drain\")\n\
+          \    (fun () ->\n\
+          \      Bus.span_begin bus \"cache_drain\";\n\
+          \      f ())\n" );
+      ]
+  in
+  let spans =
+    List.filter
+      (fun (v : A.violation) -> v.A.rule = "span-unsafe")
+      program.A.p_violations
+  in
+  check "span-unsafe: raw begin flagged once"
+    (List.length spans = 1 && (List.hd spans).A.line = 2)
+
+(* --- effect summary export is well-formed --- *)
+
+let () =
+  let program = A.analyze sources in
+  let json = A.summary_json program in
+  check "summary json: schema and module present"
+    (let has_sub sub =
+       let n = String.length json and m = String.length sub in
+       let rec go i =
+         i + m <= n && (String.sub json i m = sub || go (i + 1))
+       in
+       go 0
+     in
+     has_sub "lfs-lint-effects/1" && has_sub "Lfs_cache.Warm"
+     && has_sub "DiskIO")
+
+let () =
+  if !failures > 0 then begin
+    Printf.printf "%d analyzer test(s) failed\n" !failures;
+    exit 1
+  end
+  else print_endline "analyzer tests: all ok"
