@@ -746,6 +746,92 @@ let cmd_concurrency clients ops discipline disk_mb per_client json =
   List.iter (fun v -> Printf.eprintf "concurrency: %s\n" v) violations;
   if violations <> [] then exit 1
 
+(* Declarative scenario runner: one builder over op streams, engine
+   runs, crash sweeps and read-back fault scenarios, with seed-managed
+   replay.  `--replay SEED` re-runs a printed replay line; `--plant`
+   installs a deliberately failing invariant so the shrink/replay loop
+   can be exercised (and smoke-tested) end to end. *)
+
+module Scenario = Lfs_scenario.Scenario
+
+let planted_invariant inst =
+  match Lfs_workload.Driver.readdir inst "/" with
+  | [] -> []
+  | l -> [ Printf.sprintf "planted: root holds %d entries" (List.length l) ]
+
+let cmd_scenario sys mix count payload clients think sweep boundaries torn
+    transient burst read_back bad_sector plant json seed replay =
+  let parse_think s =
+    match String.split_on_char ':' s with
+    | [ lo; hi ] -> (
+        match (int_of_string_opt lo, int_of_string_opt hi) with
+        | Some lo, Some hi when lo = hi -> Scenario.Constant lo
+        | Some lo, Some hi -> Scenario.Uniform (lo, hi)
+        | _ ->
+            Printf.eprintf "lfstool: scenario: bad think time %S\n" s;
+            exit 2)
+    | _ ->
+        Printf.eprintf "lfstool: scenario: bad think time %S (want LO:HI)\n" s;
+        exit 2
+  in
+  let run () =
+    let spec = Scenario.make in
+    let spec =
+      match sys with
+      | "lfs" -> spec
+      | "ffs" -> Scenario.system `Ffs spec
+      | other ->
+          Printf.eprintf "lfstool: scenario: unknown system %S\n" other;
+          exit 2
+    in
+    let spec =
+      match mix with
+      | None -> spec
+      | Some m -> Scenario.ops (Scenario.mix_of_string m) spec
+    in
+    let spec = Scenario.count count spec in
+    let spec = Scenario.payload payload spec in
+    let spec =
+      match clients with None -> spec | Some n -> Scenario.clients n spec
+    in
+    let spec =
+      match think with
+      | None -> spec
+      | Some s -> Scenario.think (parse_think s) spec
+    in
+    let spec = if sweep then Scenario.crash_sweep spec else spec in
+    let spec = Scenario.boundaries boundaries spec in
+    let faults =
+      (if torn then [ Scenario.Torn ] else [])
+      @ (match transient with
+        | Some rate -> [ Scenario.Transient { rate; burst } ]
+        | None -> [])
+      @ if bad_sector then [ Scenario.Checkpoint_bad_sector ] else []
+    in
+    let spec = if faults = [] then spec else Scenario.faults faults spec in
+    let spec = if read_back then Scenario.read_back spec else spec in
+    let spec =
+      if plant then
+        Scenario.(
+          spec
+          |> invariant ~name:"planted-empty-root" planted_invariant
+          |> cli_flags [ "--plant" ])
+      else spec
+    in
+    let spec =
+      Scenario.seed (match replay with Some s -> s | None -> seed) spec
+    in
+    Scenario.run spec
+  in
+  match run () with
+  | exception Lfs_workload.Driver.Benchmark_failure m ->
+      Printf.eprintf "lfstool: scenario: %s\n" m;
+      exit 2
+  | r ->
+      if json then print_endline (Json.to_string_pretty (Scenario.to_json r))
+      else print_string (Scenario.render r);
+      if r.Scenario.failure <> None then exit 1
+
 (* Cmdliner plumbing *)
 
 open Cmdliner
@@ -1008,6 +1094,134 @@ let () =
          Term.(
            const cmd_concurrency $ clients $ ops $ discipline $ disk_mb
            $ per_client $ json));
+      (let sys =
+         Arg.(
+           value & opt string "lfs"
+           & info [ "system" ] ~doc:"System under test: lfs or ffs."
+               ~docv:"SYS")
+       in
+       let mix =
+         Arg.(
+           value
+           & opt (some string) None
+           & info [ "mix" ]
+               ~doc:
+                 "Weighted op mix, e.g. create=3,read=4,overwrite=2 \
+                  (kinds: create, mkdir, read, overwrite, append, \
+                  truncate, rename, delete, sync)."
+               ~docv:"MIX")
+       in
+       let count =
+         Arg.(
+           value & opt int 48
+           & info [ "count" ] ~doc:"Total operations generated.")
+       in
+       let payload =
+         Arg.(
+           value & opt int 2500
+           & info [ "payload" ] ~doc:"Payload scale in bytes.")
+       in
+       let clients =
+         Arg.(
+           value
+           & opt (some int) None
+           & info [ "clients" ]
+               ~doc:"Run through the multi-client engine with N clients.")
+       in
+       let think =
+         Arg.(
+           value
+           & opt (some string) None
+           & info [ "think" ]
+               ~doc:"Client think time LO:HI in microseconds (engine mode)."
+               ~docv:"LO:HI")
+       in
+       let sweep =
+         Arg.(
+           value & flag
+           & info [ "sweep" ]
+               ~doc:"Crash-point sweep: recovery at every write boundary.")
+       in
+       let boundaries =
+         Arg.(
+           value & opt int 48
+           & info [ "boundaries" ] ~doc:"Sweep boundary cap.")
+       in
+       let torn =
+         Arg.(
+           value & flag
+           & info [ "torn" ] ~doc:"Tear the crashing write (sweep mode).")
+       in
+       let transient =
+         Arg.(
+           value
+           & opt (some float) None
+           & info [ "transient" ]
+               ~doc:"Transient read-fault probability per request."
+               ~docv:"RATE")
+       in
+       let burst =
+         Arg.(
+           value & opt int 1
+           & info [ "burst" ]
+               ~doc:"Consecutive failures per transient fault.")
+       in
+       let read_back =
+         Arg.(
+           value & flag
+           & info [ "read-back" ]
+               ~doc:
+                 "Read-back run: write, drop caches and read everything \
+                  back under the transient faults.")
+       in
+       let bad_sector =
+         Arg.(
+           value & flag
+           & info [ "bad-sector" ]
+               ~doc:
+                 "Sticky bad sector over LFS checkpoint region A; \
+                  recovery must fall back to region B.")
+       in
+       let plant =
+         Arg.(
+           value & flag
+           & info [ "plant" ]
+               ~doc:
+                 "Install a deliberately failing invariant to exercise \
+                  the shrink and replay loop.")
+       in
+       let json =
+         Arg.(
+           value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+       in
+       let seed =
+         Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scenario seed.")
+       in
+       let replay =
+         Arg.(
+           value
+           & opt (some int) None
+           & info [ "replay" ]
+               ~doc:
+                 "Replay a failing scenario from the seed printed in its \
+                  replay line (overrides --seed)."
+               ~docv:"SEED")
+       in
+       Cmd.v
+         (Cmd.info "scenario"
+            ~doc:
+              "Run a declarative scenario on scratch in-memory stacks \
+               (no image needed): a seeded op stream checked against the \
+               pure reference model by default; --clients for a \
+               multi-client engine run, --sweep for a crash-point \
+               recovery sweep, --read-back with --transient for a \
+               fault-absorption run.  A failing scenario is minimized \
+               by delta-debugging and printed with a one-line --replay \
+               invocation; exits non-zero on failure.")
+         Term.(
+           const cmd_scenario $ sys $ mix $ count $ payload $ clients
+           $ think $ sweep $ boundaries $ torn $ transient $ burst
+           $ read_back $ bad_sector $ plant $ json $ seed $ replay));
     ]
   in
   exit

@@ -195,147 +195,36 @@ end
 module Lfs_suite = Make (Lfs_core.Fs) (Lfs_env)
 module Ffs_suite = Make (Lfs_ffs.Fs) (Ffs_env)
 
-(* Property-based runs: a whole operation interleaving is derived from a
-   single integer seed and checked step by step against the pure
-   reference model, on both systems.  QCheck shrinks to and prints the
-   failing seed, so `ops_of_seed <seed>` replays the exact sequence. *)
+(* Property-based runs through the scenario DSL: a whole operation
+   interleaving is derived from a single integer seed, generated and
+   checked (lockstep model comparison, final tree check, post-flush
+   re-read, integrity) by Lfs_scenario.  A failing seed is minimized by
+   the builder's delta-debugging shrinker, and the report carries a
+   one-line `lfstool scenario … --replay SEED` invocation instead of a
+   bespoke seed-printing path. *)
 
-module Seeded = struct
-  module Rng = Lfs_util.Rng
+module Scenario = Lfs_scenario.Scenario
 
-  type op =
-    | Create of string list
-    | Mkdir of string list
-    | Write of string list * int * int  (* content seed, length *)
-    | Append of string list * int * int
-    | Truncate of string list * int
-    | Rename of string list * string list
-    | Delete of string list
-    | Sync
+let seed_arb = QCheck.(make ~print:string_of_int Gen.(int_bound 1_000_000))
 
-  let names = [| "a"; "b"; "c"; "d" |]
+let scenario_prop name sys =
+  QCheck.Test.make ~name ~count:35 seed_arb (fun s ->
+      let r = Scenario.(make |> system sys |> seed s |> run) in
+      match r.Scenario.failure with
+      | None -> true
+      | Some f ->
+          QCheck.Test.fail_reportf
+            "%s\nminimal counterexample (%d of %d ops):\n  %s\nreplay: %s"
+            f.Scenario.message f.Scenario.shrunk_steps f.Scenario.original_steps
+            (String.concat "\n  " f.Scenario.steps)
+            f.Scenario.replay)
 
-  let gen_path rng =
-    List.init
-      (1 + Rng.int rng 2)
-      (fun _ -> names.(Rng.int rng (Array.length names)))
-
-  let ops_of_seed seed =
-    let rng = Rng.create seed in
-    List.init
-      (30 + Rng.int rng 31)
-      (fun i ->
-        match Rng.int rng 17 with
-        | 0 | 1 | 2 -> Create (gen_path rng)
-        | 3 | 4 -> Mkdir (gen_path rng)
-        | 5 | 6 | 7 | 8 -> Write (gen_path rng, (seed * 97) + i, Rng.int rng 5000)
-        | 9 | 10 -> Append (gen_path rng, (seed * 89) + i, Rng.int rng 2000)
-        | 11 -> Truncate (gen_path rng, Rng.int rng 4000)
-        | 12 | 13 -> Rename (gen_path rng, gen_path rng)
-        | 14 | 15 -> Delete (gen_path rng)
-        | _ -> Sync)
-
-  let path_str p = "/" ^ String.concat "/" p
-
-  let pp_op = function
-    | Create p -> "create " ^ path_str p
-    | Mkdir p -> "mkdir " ^ path_str p
-    | Write (p, _, len) -> Printf.sprintf "write %s %d" (path_str p) len
-    | Append (p, _, len) -> Printf.sprintf "append %s %d" (path_str p) len
-    | Truncate (p, s) -> Printf.sprintf "truncate %s %d" (path_str p) s
-    | Rename (a, b) -> Printf.sprintf "rename %s %s" (path_str a) (path_str b)
-    | Delete p -> "delete " ^ path_str p
-    | Sync -> "sync"
-
-  module Check (F : Fs_intf.S) = struct
-    let outcome = function Ok () -> Model_fs.Done | Error _ -> Model_fs.Failed
-
-    let apply fs model step op =
-      let expect, got =
-        match op with
-        | Create p ->
-            (Model_fs.create_file model p, outcome (F.create fs (path_str p)))
-        | Mkdir p -> (Model_fs.mkdir model p, outcome (F.mkdir fs (path_str p)))
-        | Write (p, s, len) ->
-            let data = Common.pattern ~seed:s len in
-            ( Model_fs.write model p ~off:0 data,
-              outcome (F.write fs (path_str p) ~off:0 data) )
-        | Append (p, s, len) ->
-            let off =
-              match Model_fs.read model p ~off:0 ~len:max_int with
-              | Model_fs.Data b -> Bytes.length b
-              | Model_fs.Done | Model_fs.Failed | Model_fs.Names _ -> 0
-            in
-            let data = Common.pattern ~seed:s len in
-            ( Model_fs.write model p ~off data,
-              outcome (F.write fs (path_str p) ~off data) )
-        | Truncate (p, size) ->
-            ( Model_fs.truncate model p ~size,
-              outcome (F.truncate fs (path_str p) ~size) )
-        | Rename (a, b) ->
-            ( Model_fs.rename model a b,
-              outcome (F.rename fs (path_str a) (path_str b)) )
-        | Delete p -> (Model_fs.delete model p, outcome (F.delete fs (path_str p)))
-        | Sync ->
-            F.sync fs;
-            (Model_fs.Done, Model_fs.Done)
-      in
-      if expect <> got then
-        QCheck.Test.fail_reportf "step %d (%s): model %s, fs %s" step (pp_op op)
-          (if expect = Model_fs.Done then "succeeded" else "failed")
-          (if got = Model_fs.Done then "succeeded" else "failed")
-
-    let final_check fs model =
-      List.iter
-        (fun (p, content) ->
-          match F.read fs (path_str p) ~off:0 ~len:(Bytes.length content + 16) with
-          | Ok b when Bytes.equal b content -> ()
-          | Ok b ->
-              QCheck.Test.fail_reportf "%s: %d bytes, model has %d" (path_str p)
-                (Bytes.length b) (Bytes.length content)
-          | Error e ->
-              QCheck.Test.fail_reportf "%s: %s" (path_str p) (E.to_string e))
-        (Model_fs.all_files model);
-      List.iter
-        (fun p ->
-          match (F.readdir fs (path_str p), Model_fs.readdir model p) with
-          | Ok names, Model_fs.Names expected when names = expected -> ()
-          | Ok _, _ -> QCheck.Test.fail_reportf "%s: listing differs" (path_str p)
-          | Error e, _ ->
-              QCheck.Test.fail_reportf "%s: %s" (path_str p) (E.to_string e))
-        (Model_fs.all_dirs model)
-
-    let run make seed =
-      let fs = make () in
-      let model = Model_fs.create () in
-      List.iteri (fun step op -> apply fs model step op) (ops_of_seed seed);
-      final_check fs model;
-      F.flush_caches fs;
-      final_check fs model;
-      (match F.integrity fs with
-      | [] -> ()
-      | issues ->
-          QCheck.Test.fail_reportf "integrity after seed %d:\n  %s" seed
-            (String.concat "\n  " issues));
-      true
-  end
-
-  module Lfs_check = Check (Lfs_core.Fs)
-  module Ffs_check = Check (Lfs_ffs.Fs)
-
-  let seed_arb = QCheck.(make ~print:string_of_int Gen.(int_bound 1_000_000))
-
-  let props =
-    [
-      QCheck.Test.make ~name:"lfs: seeded random ops match model" ~count:35
-        seed_arb
-        (fun seed -> Lfs_check.run (fun () -> Lfs_env.make ()) seed);
-      QCheck.Test.make ~name:"ffs: seeded random ops match model" ~count:35
-        seed_arb
-        (fun seed -> Ffs_check.run (fun () -> Ffs_env.make ()) seed);
-    ]
-end
+let props =
+  [
+    scenario_prop "lfs: seeded random ops match model" `Lfs;
+    scenario_prop "ffs: seeded random ops match model" `Ffs;
+  ]
 
 let suite =
   Lfs_suite.suite @ Ffs_suite.suite
-  @ List.map (fun p -> QCheck_alcotest.to_alcotest p) Seeded.props
+  @ List.map (fun p -> QCheck_alcotest.to_alcotest p) props

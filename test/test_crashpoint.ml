@@ -1,29 +1,47 @@
-(* The fault-injection layer and the crash-point recovery harness.
+(* The fault-injection layer and the crash-point recovery harness,
+   driven through the scenario DSL.
 
-   The sweeps here are the CI-pinned version of `lfstool crashtest`:
-   every write boundary of a small smallfile workload, on both systems,
-   must remount to a state the durable model accepts.  The remaining
-   cases cover the other fault kinds one by one: torn writes at the log
-   tail, transient read errors absorbed by retry/backoff, retry-budget
-   exhaustion surfacing as a typed error, and a sticky bad sector over a
-   checkpoint region. *)
+   The sweeps here are the CI-pinned version of `lfstool scenario
+   --sweep`: every write boundary of a small create/sync/delete
+   workload, on both systems, must remount to a state the durable model
+   accepts.  The remaining cases cover the other fault kinds one by one:
+   torn writes at the log tail, transient read errors absorbed by
+   retry/backoff, retry-budget exhaustion surfacing as a typed error,
+   and a sticky bad sector over a checkpoint region.  Scoped injection
+   goes through Scenario.with_faults — the scenario-entry lint rule
+   keeps the raw Crashpoint/Faulty entry points out of test code. *)
 
 module Crashpoint = Lfs_workload.Crashpoint
+module Scenario = Lfs_scenario.Scenario
 module Faulty = Lfs_disk.Faulty
 module Io = Lfs_disk.Io
 module Bus = Lfs_obs.Bus
 module Event = Lfs_obs.Event
 module Metrics = Lfs_obs.Metrics
 
-let ops = Crashpoint.smallfile ~files:4 ~size:1500 ()
+(* A smallfile-shaped spec: a handful of created-and-written files
+   across interleaved syncs, one delete. *)
+let smallfile_spec sys =
+  Scenario.(
+    make |> system sys
+    |> ops [ Create 4; Sync 1; Delete 1 ]
+    |> count 6 |> payload 1500 |> boundaries 256)
 
-let fail_violations label = function
-  | [] -> ()
-  | vs -> Alcotest.failf "%s:\n  %s" label (String.concat "\n  " vs)
+let fail_failure = function
+  | None -> ()
+  | Some f ->
+      Alcotest.failf "%s\nreplay: %s" f.Scenario.message f.Scenario.replay
 
-let check_sweep ?torn sys =
-  let o = Crashpoint.sweep ?torn ~max_boundaries:256 sys ops in
-  fail_violations o.Crashpoint.label o.Crashpoint.violations;
+let check_sweep ?(torn = false) sys =
+  let spec = Scenario.crash_sweep (smallfile_spec sys) in
+  let spec = if torn then Scenario.faults [ Scenario.Torn ] spec else spec in
+  let r = Scenario.run spec in
+  fail_failure r.Scenario.failure;
+  let o =
+    match r.Scenario.sweep with
+    | Some o -> o
+    | None -> Alcotest.fail "sweep scenario produced no sweep outcome"
+  in
   if o.Crashpoint.total_writes = 0 then Alcotest.fail "workload never wrote";
   (* Under the cap, so the sweep was exhaustive: every boundary tested. *)
   Alcotest.(check int) "exhaustive" o.Crashpoint.total_writes
@@ -50,57 +68,66 @@ let test_torn_sweep_lfs () = check_sweep ~torn:true `Lfs
 let test_read_faults () =
   List.iter
     (fun sys ->
-      let o = Crashpoint.read_fault_run ~rate:0.15 ~burst:2 sys ops in
-      fail_violations
-        (Crashpoint.system_name sys ^ " read faults")
-        o.Crashpoint.rf_violations;
-      if o.Crashpoint.read_errors = 0 then Alcotest.fail "no faults injected";
+      let r =
+        Scenario.(
+          smallfile_spec sys |> count 12
+          |> faults [ Transient { rate = 0.15; burst = 2 } ]
+          |> read_back |> seed 11 |> run)
+      in
+      fail_failure r.Scenario.failure;
+      let s = r.Scenario.stats in
+      if s.Scenario.read_errors = 0 then Alcotest.fail "no faults injected";
       (* Every injected fault costs one retry, and every retry backs
          off. *)
-      if o.Crashpoint.retries < o.Crashpoint.read_errors then
-        Alcotest.failf "%d retries for %d injected faults"
-          o.Crashpoint.retries o.Crashpoint.read_errors;
-      if o.Crashpoint.backoff_us <= 0 then Alcotest.fail "no backoff recorded")
+      if s.Scenario.retries < s.Scenario.read_errors then
+        Alcotest.failf "%d retries for %d injected faults" s.Scenario.retries
+          s.Scenario.read_errors;
+      if s.Scenario.backoff_us <= 0 then Alcotest.fail "no backoff recorded")
     [ `Lfs; `Ffs ]
 
 let test_retry_exhaustion () =
   let io = Common.make_io () in
-  let f = Faulty.attach io { Faulty.quiet with seed = 5; bad_sectors = [ 7 ] } in
-  (* A neighbouring read is unaffected by the sticky sector. *)
-  ignore (Io.sync_read io ~sector:8 ~count:1);
-  (match Io.sync_read io ~sector:7 ~count:1 with
-  | _ -> Alcotest.fail "read of a bad sector succeeded"
-  | exception Io.Read_failed { sector; attempts } ->
-      Alcotest.(check int) "failed sector" 7 sector;
-      Alcotest.(check int) "budget spent" 4 attempts);
+  let (), inj =
+    Scenario.with_faults ~seed:5 io
+      [ Scenario.Bad_sectors [ 7 ] ]
+      (fun () ->
+        (* A neighbouring read is unaffected by the sticky sector. *)
+        ignore (Io.sync_read io ~sector:8 ~count:1);
+        match Io.sync_read io ~sector:7 ~count:1 with
+        | _ -> Alcotest.fail "read of a bad sector succeeded"
+        | exception Io.Read_failed { sector; attempts } ->
+            Alcotest.(check int) "failed sector" 7 sector;
+            Alcotest.(check int) "budget spent" 4 attempts)
+  in
+  Alcotest.(check int) "faults while attached" 4 inj.Scenario.inj_faults;
   let snap = Metrics.snapshot (Io.metrics io) in
   let v name = Option.value ~default:0 (Metrics.counter_value snap name) in
   (* 3 retries after the first attempt, exponential backoff 1+2+4 ms. *)
   Alcotest.(check int) "io.retries" 3 (v "io.retries");
   Alcotest.(check int) "io.backoff_us" 7000 (v "io.backoff_us");
-  Alcotest.(check int) "sticky faults" 4 (v "disk.faults.bad_sector_reads");
-  Faulty.detach f
+  Alcotest.(check int) "sticky faults" 4 (v "disk.faults.bad_sector_reads")
 
 let test_transient_within_budget () =
   let io = Common.make_io () in
-  let f =
-    Faulty.attach io
-      { Faulty.quiet with seed = 6; read_error_rate = 1.0; read_error_burst = 2 }
+  let (), inj =
+    Scenario.with_faults ~seed:6 io
+      [ Scenario.Transient { rate = 1.0; burst = 2 } ]
+      (fun () ->
+        (* Every fresh request fails twice, then the third attempt goes
+           through — inside the default budget of 4. *)
+        ignore (Io.sync_read io ~sector:0 ~count:2))
   in
-  (* Every fresh request fails twice, then the third attempt goes
-     through — inside the default budget of 4. *)
-  ignore (Io.sync_read io ~sector:0 ~count:2);
+  Alcotest.(check int) "faults while attached" 2 inj.Scenario.inj_faults;
   let snap = Metrics.snapshot (Io.metrics io) in
   let v name = Option.value ~default:0 (Metrics.counter_value snap name) in
   Alcotest.(check int) "io.retries" 2 (v "io.retries");
   Alcotest.(check int) "io.backoff_us" 3000 (v "io.backoff_us");
-  Alcotest.(check int) "transient faults" 2 (v "disk.faults.read_errors");
-  Faulty.detach f
+  Alcotest.(check int) "transient faults" 2 (v "disk.faults.read_errors")
 
 let test_bad_sector_checkpoint () =
-  let o = Crashpoint.bad_sector_run () in
-  fail_violations "bad sector over checkpoint A" o.Crashpoint.bs_violations;
-  if o.Crashpoint.bad_sector_reads = 0 then
+  let r = Scenario.(make |> faults [ Checkpoint_bad_sector ] |> run) in
+  fail_failure r.Scenario.failure;
+  if r.Scenario.stats.Scenario.bad_sector_reads = 0 then
     Alcotest.fail "checkpoint region A was never read"
 
 (* Regression for torn-tail tolerance in Recovery: tear the segment
@@ -119,14 +146,16 @@ let test_torn_tail_summary () =
       ~filter:(function Event.Fault_injected _ -> true | _ -> false)
       (Io.bus io)
   in
-  let f =
-    Faulty.attach io
-      { Faulty.quiet with seed = 3; crash_after_writes = Some 0; torn_write = true }
+  let (), crash_inj =
+    Scenario.with_faults ~seed:3 io
+      [ Scenario.Crash_after 0; Scenario.Torn ]
+      (fun () ->
+        try
+          Lfs_core.Fs.sync fs;
+          Alcotest.fail "sync survived the armed crash"
+        with Faulty.Crash -> ())
   in
-  (try
-     Lfs_core.Fs.sync fs;
-     Alcotest.fail "sync survived the armed crash"
-   with Faulty.Crash -> ());
+  Alcotest.(check bool) "machine went down" true crash_inj.Scenario.inj_crashed;
   let torn_sector =
     match
       List.filter_map
@@ -139,23 +168,24 @@ let test_torn_tail_summary () =
     | s :: _ -> s
     | [] -> Alcotest.fail "no fault event on the bus"
   in
-  Faulty.clear_crash f;
-  Faulty.detach f;
   (* The torn request began with the segment summary; leaving its first
      sector unreadable forces the Read_failed path through recovery. *)
-  let f2 =
-    Faulty.attach io { Faulty.quiet with seed = 4; bad_sectors = [ torn_sector ] }
+  let (), _ =
+    Scenario.with_faults ~seed:4 io
+      [ Scenario.Bad_sectors [ torn_sector ] ]
+      (fun () ->
+        match Lfs_core.Fs.mount ~config:Common.small_config io with
+        | Error e -> Alcotest.failf "remount after torn tail failed: %s" e
+        | Ok fs2 ->
+            Common.check_bytes "checkpointed file survives"
+              (Common.pattern ~seed:1 4000)
+              (Common.check_ok "read /a"
+                 (Lfs_core.Fs.read fs2 "/a" ~off:0 ~len:4000));
+            Alcotest.(check bool) "unsynced file legitimately at risk" true
+              (match Lfs_core.Fs.read fs2 "/b" ~off:0 ~len:4000 with
+              | Ok _ | Error _ -> true))
   in
-  (match Lfs_core.Fs.mount ~config:Common.small_config io with
-  | Error e -> Alcotest.failf "remount after torn tail failed: %s" e
-  | Ok fs2 ->
-      Common.check_bytes "checkpointed file survives"
-        (Common.pattern ~seed:1 4000)
-        (Common.check_ok "read /a" (Lfs_core.Fs.read fs2 "/a" ~off:0 ~len:4000));
-      Alcotest.(check bool) "unsynced file legitimately at risk" true
-        (match Lfs_core.Fs.read fs2 "/b" ~off:0 ~len:4000 with
-        | Ok _ | Error _ -> true));
-  Faulty.detach f2
+  ()
 
 let suite =
   [

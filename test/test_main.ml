@@ -22,6 +22,7 @@ let () =
       ("workload", Test_workload.suite);
       ("engine", Test_engine.suite);
       ("crashpoint", Test_crashpoint.suite);
+      ("scenario", Test_scenario.suite);
       ("trace", Test_trace.suite);
       ("misc", Test_misc.suite);
     ]

@@ -7,6 +7,7 @@
 
 module E = Lfs_vfs.Errors
 module Fs_intf = Lfs_vfs.Fs_intf
+module Model_fs = Lfs_scenario.Model_fs
 
 let qcheck = QCheck_alcotest.to_alcotest
 

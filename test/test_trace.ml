@@ -2,6 +2,7 @@
 
 module W = Lfs_workload
 module Trace = Lfs_workload.Trace
+module Model_fs = Lfs_scenario.Model_fs
 
 let qcheck = QCheck_alcotest.to_alcotest
 

@@ -50,8 +50,8 @@
                           Disk, so the syntactic rule is blind)
      transitive-nondet    code outside Clock/Rng reaches ambient
                           nondeterminism through calls
-     transitive-clock     workload/bench code reaches direct clock
-                          advancement through calls
+     transitive-clock     workload/bench/scenario code reaches direct
+                          clock advancement through calls
    plus span exception-safety:
      span-unsafe          a raw Bus.span_begin not protected by
                           Fun.protect ~finally:(... span_end ...) — a
@@ -60,8 +60,11 @@
                           Bus.with_span (exception-safe) instead.
    The syntactic rules from PR 3-6 (disk-io, nondet, stdout,
    lru-to-list, workload-disk, workload-clock, metric and span naming)
-   run over the same parse, with identifier paths alias-expanded, so
-   `module D = Disk` no longer hides a raw access.
+   plus scenario-entry (test and lib code must reach Crashpoint
+   sweeps / Faulty.attach through the Lfs_scenario DSL, whose compiler
+   is the allowlisted sole caller) run over the same parse, with
+   identifier paths alias-expanded, so `module D = Disk` no longer
+   hides a raw access.
    The analysis also collects the observability catalog: every metric
    name, span name (including the op_* literals owned by
    Profile.op_name) and bus event constructor, with its source site. *)
@@ -101,6 +104,12 @@ let bench_ctx file = in_dir "bench" file
 let bin_ctx file = in_dir "bin" file
 let test_ctx file = in_dir "test" file
 let workload_ctx file = in_dir "workload" file || bench_ctx file
+
+(* The scenario DSL compiler: held to the workload tree's disk/clock
+   discipline (it drives the same machinery), but *not* given its
+   fault-entry exemption — scenario.ml's own raw entry points are
+   carried by the allowlist instead, so the hole stays visible. *)
+let scenario_ctx file = in_dir "scenario" file
 
 (* Everything that is not a harness tree is held to library standards;
    fixtures without a bench/bin/test component deliberately land here. *)
@@ -146,6 +155,20 @@ let is_stdout s =
 
 let is_lru_to_list s =
   s = "Lru.to_list" || String.ends_with ~suffix:".Lru.to_list" s
+
+(* Raw fault/sweep entry points that test and lib code must reach
+   through Lfs_scenario (Scenario.run / Scenario.with_faults), so every
+   fault run is seed-managed and replayable. *)
+let scenario_entries =
+  [
+    "Crashpoint.sweep"; "Crashpoint.read_fault_run";
+    "Crashpoint.bad_sector_run"; "Faulty.attach";
+  ]
+
+let is_scenario_entry s =
+  List.exists
+    (fun t -> s = t || String.ends_with ~suffix:("." ^ t) s)
+    scenario_entries
 
 let is_raise s =
   List.mem s [ "raise"; "raise_notrace"; "failwith"; "invalid_arg" ]
@@ -768,17 +791,29 @@ let syntactic_checks program =
       List.iter
         (fun (path, line) ->
           let s = String.concat "." path in
-          if workload_ctx file && is_disk_value s then
+          if (workload_ctx file || scenario_ctx file) && is_disk_value s then
             report "workload-disk" file line
               (Printf.sprintf
                  "%s: workloads and benchmarks must go through Io (or \
                   Faulty), never the raw Disk"
                  s)
-          else if workload_ctx file && is_clock_advance s then
+          else if (workload_ctx file || scenario_ctx file) && is_clock_advance s
+          then
             report "workload-clock" file line
               (Printf.sprintf
                  "%s: time moves only through the engine's event loop and \
                   the Io layer, never by direct Clock advancement"
+                 s)
+          else if
+            is_scenario_entry s
+            && (test_ctx file || lib_ctx file)
+            && not (workload_ctx file)
+          then
+            report "scenario-entry" file line
+              (Printf.sprintf
+                 "%s: raw fault/sweep entry point; drive it through \
+                  Lfs_scenario (Scenario.run or Scenario.with_faults) so \
+                  the run is seed-managed and replayable"
                  s)
           else if is_disk_io s && not (test_ctx file) then
             report "disk-io" file line
@@ -863,8 +898,10 @@ let transitive_checks program =
         report "transitive-disk-io" d "raw disk I/O" eff_disk_io;
       if inherited land eff_nondet <> 0 && not (test_ctx d.file) then
         report "transitive-nondet" d "ambient nondeterminism" eff_nondet;
-      if inherited land eff_clock <> 0 && workload_ctx d.file then
-        report "transitive-clock" d "direct clock advancement" eff_clock)
+      if
+        inherited land eff_clock <> 0
+        && (workload_ctx d.file || scenario_ctx d.file)
+      then report "transitive-clock" d "direct clock advancement" eff_clock)
     program.p_defs
 
 (* ---------------- analysis driver ---------------- *)

@@ -1,0 +1,8 @@
+(* expect: scenario-entry *)
+
+(* A test driving the raw fault machinery itself: such a run has no
+   managed seed and prints no replay line.  Both entry points must be
+   reached through Lfs_scenario (Scenario.run / Scenario.with_faults). *)
+
+let sweep_directly ops = Lfs_workload.Crashpoint.sweep `Lfs ops
+let inject io scenario = Lfs_disk.Faulty.attach io scenario

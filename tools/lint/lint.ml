@@ -10,7 +10,8 @@
 
      syntactic (per raw site, identifier paths alias-expanded):
        disk-io, nondet, stdout, lru-to-list, workload-disk,
-       workload-clock, metric-name, metric-dup, span-name, span-dup
+       workload-clock, scenario-entry, metric-name, metric-dup,
+       span-name, span-dup
      span exception-safety:
        span-unsafe   a raw Bus.span_begin whose span_end is not on the
                      raise path (not Bus.with_span / Fun.protect)
@@ -26,7 +27,10 @@
    lib/; test/ may exercise Disk, Lru.to_list and raw spans directly,
    so those rules skip it; metric/span registration is collected from
    lib/ only (harnesses read counters back through the same
-   get-or-create API).
+   get-or-create API).  scenario-entry runs the other way round: it
+   covers test/ and lib/ (the workload tree owns the raw machinery and
+   is exempt), keeping Crashpoint sweeps and Faulty.attach behind the
+   seed-managed Lfs_scenario DSL.
 
    Allowlist: "<rule> <path-suffix>" lines; a violation is suppressed
    when its rule matches and its file path ends with the suffix.  With

@@ -166,6 +166,32 @@ let () =
   check "transitive clock: non-workload caller exempt"
     (not (List.mem "transitive-clock" (rules_of program "lib/cache/pulse.ml")))
 
+(* --- scenario-entry: raw fault entry points confined to the DSL --- *)
+
+let entry_source path =
+  [
+    ( path,
+      "let go io ops =\n\
+      \  ignore (Lfs_disk.Faulty.attach io s);\n\
+      \  Lfs_workload.Crashpoint.sweep `Lfs ops\n" );
+  ]
+
+let () =
+  let program = A.analyze (entry_source "test/test_faults.ml") in
+  check "scenario-entry: test caller flagged"
+    (List.mem "scenario-entry" (rules_of program "test/test_faults.ml"));
+  let program = A.analyze (entry_source "lib/cache/prober.ml") in
+  check "scenario-entry: lib caller flagged"
+    (List.mem "scenario-entry" (rules_of program "lib/cache/prober.ml"));
+  let program = A.analyze (entry_source "lib/workload/crashpoint.ml") in
+  check "scenario-entry: workload tree exempt"
+    (not
+       (List.mem "scenario-entry"
+          (rules_of program "lib/workload/crashpoint.ml")));
+  let program = A.analyze (entry_source "lib/scenario/scenario.ml") in
+  check "scenario-entry: DSL compiler fires (allowlisted)"
+    (List.mem "scenario-entry" (rules_of program "lib/scenario/scenario.ml"))
+
 (* --- span safety: raw begin flagged, Fun.protect accepted --- *)
 
 let () =
