@@ -385,7 +385,7 @@ let cmd_trace image with_ffs limit ops =
   trace_instance ?limit (Lfs_vfs.Fs_intf.Instance ((module Fs), fs)) ops;
   if with_ffs then begin
     let size_bytes =
-      let g = Lfs_disk.Disk.geometry (Io.disk (Fs.io fs)) in
+      let g = Io.geometry (Fs.io fs) in
       g.Geometry.sectors * g.Geometry.sector_size
     in
     let io = make_io ~size_bytes in
@@ -746,6 +746,109 @@ let cmd_concurrency clients ops discipline disk_mb per_client json =
   List.iter (fun v -> Printf.eprintf "concurrency: %s\n" v) violations;
   if violations <> [] then exit 1
 
+
+(* Scale-out demo: the bench `scaleout` figure's workload at CLI scale —
+   LFS and FFS writing small files over a striped (or mirrored) volume,
+   one row per member count, with per-member seek counts.  The always-on
+   sanitizer runs after every row. *)
+
+let cmd_scaleout members_arg policy_arg files file_size json =
+  let member_counts =
+    match
+      List.map int_of_string_opt (String.split_on_char ',' members_arg)
+    with
+    | l when l <> [] && List.for_all (fun o -> o <> None) l ->
+        List.map Option.get l
+    | _ ->
+        Printf.eprintf "lfstool: scaleout: bad --members %S (want e.g. 1,2,4)\n"
+          members_arg;
+        exit 2
+  in
+  let segment_sectors = Config.default.Config.segment_size / 512 in
+  let policy_of_string = function
+    | "log_stripe" ->
+        (Lfs_disk.Volume.Log_stripe { stripe_sectors = segment_sectors },
+         segment_sectors)
+    | "stripe" -> (Lfs_disk.Volume.Stripe { chunk_sectors = 64 }, 0)
+    | "mirror" -> (Lfs_disk.Volume.Mirror, 0)
+    | other ->
+        Printf.eprintf
+          "lfstool: scaleout: unknown policy %S (want log_stripe, stripe or \
+           mirror)\n"
+          other;
+        exit 2
+  in
+  let policy, align = policy_of_string policy_arg in
+  let rows =
+    List.concat_map
+      (fun members ->
+        let run label mk =
+          let io =
+            Setup.make_volume_io ~disk_mb:16 ~cpu:Cpu_model.free ~policy
+              ~members ()
+          in
+          let inst = mk io in
+          let seeks0 =
+            List.init members (fun i -> (Io.member_stats io i).Disk.seeks)
+          in
+          let t0 = Io.now_us io in
+          for i = 0 to files - 1 do
+            let path = Printf.sprintf "/f%05d" i in
+            Driver.create inst path;
+            Driver.write inst path ~off:0 (Driver.content ~seed:i file_size)
+          done;
+          Driver.sync inst;
+          let elapsed_us = max 1 (Io.now_us io - t0) in
+          let member_seeks =
+            List.map2 ( - )
+              (List.init members (fun i -> (Io.member_stats io i).Disk.seeks))
+              seeks0
+          in
+          Driver.sanitize inst;
+          let mbs =
+            float_of_int (files * file_size)
+            /. 1024.0 /. 1024.0
+            /. (float_of_int elapsed_us /. 1e6)
+          in
+          (label, members, mbs, List.fold_left max 0 member_seeks)
+        in
+        [
+          run "LFS" (fun io ->
+              let config =
+                { Config.default with Config.segment_align_sectors = align }
+              in
+              Setup.lfs_on io ~config ());
+          run "FFS" (fun io -> Setup.ffs_on io ());
+        ])
+      member_counts
+  in
+  if json then
+    print_endline
+      (Json.to_string_pretty
+         (Json.Obj
+            [
+              ("schema", Json.String "lfs-scaleout/1");
+              ("policy", Json.String policy_arg);
+              ( "rows",
+                Json.List
+                  (List.map
+                     (fun (label, members, mbs, seeks) ->
+                       Json.Obj
+                         [
+                           ("label", Json.String label);
+                           ("members", Json.Int members);
+                           ("write_mb_per_sec", Json.Float mbs);
+                           ("seeks_per_member_max", Json.Int seeks);
+                         ])
+                     rows) );
+            ]))
+  else
+    List.iter
+      (fun (label, members, mbs, seeks) ->
+        Printf.printf "%-4s %-10s %d members: %6.2f MB/s  seeks/member max %d\n"
+          label policy_arg members mbs seeks)
+      rows
+
 (* Declarative scenario runner: one builder over op streams, engine
    runs, crash sweeps and read-back fault scenarios, with seed-managed
    replay.  `--replay SEED` re-runs a printed replay line; `--plant`
@@ -760,7 +863,32 @@ let planted_invariant inst =
   | l -> [ Printf.sprintf "planted: root holds %d entries" (List.length l) ]
 
 let cmd_scenario sys mix count payload clients think sweep boundaries torn
-    transient burst read_back bad_sector plant json seed replay =
+    transient burst read_back bad_sector volume fault_member plant json seed
+    replay =
+  let parse_volume s =
+    let bad () =
+      Printf.eprintf
+        "lfstool: scenario: bad volume %S (want \
+         stripe:MEMBERS:CHUNK | log_stripe:MEMBERS:STRIPE | mirror:MEMBERS)\n"
+        s;
+      exit 2
+    in
+    match String.split_on_char ':' s with
+    | [ "mirror"; n ] -> (
+        match int_of_string_opt n with
+        | Some n -> (Lfs_disk.Volume.Mirror, n)
+        | None -> bad ())
+    | [ "stripe"; n; c ] -> (
+        match (int_of_string_opt n, int_of_string_opt c) with
+        | Some n, Some c -> (Lfs_disk.Volume.Stripe { chunk_sectors = c }, n)
+        | _ -> bad ())
+    | [ "log_stripe"; n; sc ] -> (
+        match (int_of_string_opt n, int_of_string_opt sc) with
+        | Some n, Some sc ->
+            (Lfs_disk.Volume.Log_stripe { stripe_sectors = sc }, n)
+        | _ -> bad ())
+    | _ -> bad ()
+  in
   let parse_think s =
     match String.split_on_char ':' s with
     | [ lo; hi ] -> (
@@ -810,6 +938,18 @@ let cmd_scenario sys mix count payload clients think sweep boundaries torn
     in
     let spec = if faults = [] then spec else Scenario.faults faults spec in
     let spec = if read_back then Scenario.read_back spec else spec in
+    let spec =
+      match volume with
+      | None -> spec
+      | Some v ->
+          let policy, members = parse_volume v in
+          Scenario.volume policy members spec
+    in
+    let spec =
+      match fault_member with
+      | None -> spec
+      | Some m -> Scenario.fault_member m spec
+    in
     let spec =
       if plant then
         Scenario.(
@@ -1094,6 +1234,45 @@ let () =
          Term.(
            const cmd_concurrency $ clients $ ops $ discipline $ disk_mb
            $ per_client $ json));
+      (let members =
+         Arg.(
+           value & opt string "1,2,4"
+           & info [ "members" ]
+               ~doc:"Comma-separated volume member counts to sweep."
+               ~docv:"N,N,...")
+       in
+       let policy =
+         Arg.(
+           value & opt string "log_stripe"
+           & info [ "policy" ]
+               ~doc:"Volume policy: log_stripe, stripe or mirror."
+               ~docv:"POLICY")
+       in
+       let files =
+         Arg.(
+           value & opt int 200
+           & info [ "files" ] ~doc:"Files written per run.")
+       in
+       let file_size =
+         Arg.(
+           value & opt int 8192 & info [ "file-size" ] ~doc:"File size in bytes.")
+       in
+       let json =
+         Arg.(
+           value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+       in
+       Cmd.v
+         (Cmd.info "scaleout"
+            ~doc:
+              "Write small files through LFS and FFS over a multi-disk \
+               volume (no image needed), one row per member count: write \
+               bandwidth and the busiest member's seek count.  The log's \
+               whole-segment writes split into one contiguous run per \
+               member, so LFS bandwidth grows with the spindle count \
+               while FFS stays pinned to single-disk latency — the bench \
+               scaleout figure at CLI scale.")
+         Term.(
+           const cmd_scaleout $ members $ policy $ files $ file_size $ json));
       (let sys =
          Arg.(
            value & opt string "lfs"
@@ -1182,6 +1361,27 @@ let () =
                  "Sticky bad sector over LFS checkpoint region A; \
                   recovery must fall back to region B.")
        in
+       let volume =
+         Arg.(
+           value
+           & opt (some string) None
+           & info [ "volume" ]
+               ~doc:
+                 "Run on a multi-disk volume instead of a single disk: \
+                  stripe:MEMBERS:CHUNK, log_stripe:MEMBERS:STRIPE or \
+                  mirror:MEMBERS (chunk and stripe in sectors)."
+               ~docv:"SPEC")
+       in
+       let fault_member =
+         Arg.(
+           value
+           & opt (some int) None
+           & info [ "fault-member" ]
+               ~doc:
+                 "Confine injected faults to one volume member \
+                  (stream/engine modes; requires --volume)."
+               ~docv:"I")
+       in
        let plant =
          Arg.(
            value & flag
@@ -1221,7 +1421,8 @@ let () =
          Term.(
            const cmd_scenario $ sys $ mix $ count $ payload $ clients
            $ think $ sweep $ boundaries $ torn $ transient $ burst
-           $ read_back $ bad_sector $ plant $ json $ seed $ replay));
+           $ read_back $ bad_sector $ volume $ fault_member $ plant $ json
+           $ seed $ replay));
     ]
   in
   exit

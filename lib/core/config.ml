@@ -11,6 +11,7 @@ type t = {
   block_size : int;
   segment_size : int;
   max_files : int;
+  segment_align_sectors : int;
   cache_blocks : int;
   read_clustering : bool;
   readahead_blocks : int;
@@ -30,6 +31,7 @@ let default =
     block_size = 4096;
     segment_size = 1 lsl 20;
     max_files = 65536;
+    segment_align_sectors = 0;
     cache_blocks = 4096;
     read_clustering = true;
     readahead_blocks = 32;
@@ -67,6 +69,8 @@ let validate t =
   else if t.segment_size / t.block_size < 2 then
     err "a segment must hold at least a summary block and one data block"
   else if t.max_files < 2 then err "max_files must be at least 2"
+  else if t.segment_align_sectors < 0 then
+    err "segment_align_sectors must be non-negative (0 disables alignment)"
   else if t.cache_blocks <= 0 then err "cache_blocks must be positive"
   else if t.readahead_blocks < 0 then
     err "readahead_blocks must be non-negative (0 disables read-ahead)"

@@ -18,6 +18,14 @@ type t = {
   block_size : int;  (** bytes; must divide the segment size; default 4 KB *)
   segment_size : int;  (** bytes; default 1 MB as in the paper's tests *)
   max_files : int;  (** inode-map capacity *)
+  segment_align_sectors : int;
+      (** align the first segment so every segment starts on a multiple
+          of this many device sectors (0 = pack segments right after the
+          checkpoint regions, the historical layout).  Structural — it
+          moves the whole segment area and is recorded in the
+          superblock.  Set to a {!Lfs_disk.Volume} [Log_stripe] stripe
+          size so each whole-segment write splits into exactly one
+          contiguous run per member. *)
   (* runtime *)
   cache_blocks : int;  (** file-cache capacity in blocks *)
   read_clustering : bool;

@@ -359,7 +359,7 @@ let unmount (st : t) =
 (* Lifecycle *)
 
 let format io config =
-  let geometry = Lfs_disk.Disk.geometry (Io.disk io) in
+  let geometry = Io.geometry io in
   match Layout.compute config geometry with
   | Error _ as e -> e
   | Ok layout ->
@@ -379,7 +379,7 @@ let format io config =
       Ok ()
 
 let mount ?(config = Config.default) io =
-  let geometry = Lfs_disk.Disk.geometry (Io.disk io) in
+  let geometry = Io.geometry io in
   (* The on-disk block size is not known before the superblock is read,
      so read generously (the CRC in the superblock covers exactly one
      block; decoding tolerates trailing data). *)

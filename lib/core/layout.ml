@@ -16,6 +16,7 @@ type t = {
   max_files : int;
   n_imap_blocks : int;
   n_usage_blocks : int;
+  align_sectors : int;
 }
 
 let imap_entry_bytes = 24
@@ -65,7 +66,27 @@ let compute (config : Config.t) geometry =
           (bytes + block_size - 1) / block_size
         in
         let cp_blocks = cp_blocks_for upper_nsegments in
-        let first_segment_block = 1 + (2 * cp_blocks) in
+        let base_first = 1 + (2 * cp_blocks) in
+        (* Segment alignment: push the segment area up so every segment
+           starts on a multiple of [segment_align_sectors] — on a
+           Log_stripe volume with the stripe as the alignment, a
+           whole-segment write then splits into exactly one contiguous
+           run per member.  The alignment must be whole blocks, or no
+           block boundary ever lands on it. *)
+        let align = config.segment_align_sectors in
+        if align > 0 && align mod block_sectors <> 0 then
+          Error
+            (Printf.sprintf
+               "segment_align_sectors %d not a multiple of the %d-sector \
+                block"
+               align block_sectors)
+        else begin
+        let first_segment_block =
+          if align = 0 then base_first
+          else
+            let ab = align / block_sectors in
+            (base_first + ab - 1) / ab * ab
+        in
         let nsegments = (total_blocks - first_segment_block) / seg_blocks in
         if nsegments < 2 then
           Error "disk too small: fewer than two segments would fit"
@@ -85,7 +106,9 @@ let compute (config : Config.t) geometry =
               max_files = config.max_files;
               n_imap_blocks;
               n_usage_blocks = usage_blocks_for nsegments;
+              align_sectors = align;
             }
+        end
       end
 
 let sector_of_block t addr = addr * t.block_sectors
@@ -114,7 +137,7 @@ let payload_index_of_block t addr =
 (* Superblock *)
 
 let sb_magic = 0x4C465331 (* "LFS1" *)
-let sb_crc_off = 28
+let sb_crc_off = 32
 
 let encode_superblock t =
   let e = Codec.encoder ~capacity:t.block_size () in
@@ -125,6 +148,7 @@ let encode_superblock t =
   Codec.u32 e t.total_blocks;
   Codec.u32 e t.nsegments;
   Codec.u32 e t.cp_blocks;
+  Codec.u32 e t.align_sectors;
   Codec.u32 e 0 (* crc placeholder at sb_crc_off *);
   Codec.pad_to e t.block_size;
   let block = Codec.to_bytes e in
@@ -152,8 +176,15 @@ let decode_superblock block geometry =
           let total_blocks = Codec.read_u32 d in
           let nsegments = Codec.read_u32 d in
           let cp_blocks = Codec.read_u32 d in
+          let align_sectors = Codec.read_u32 d in
           let config =
-            { Config.default with block_size; segment_size; max_files }
+            {
+              Config.default with
+              block_size;
+              segment_size;
+              max_files;
+              segment_align_sectors = align_sectors;
+            }
           in
           match compute config geometry with
           | Error _ as e -> e

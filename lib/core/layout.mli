@@ -20,11 +20,17 @@ type t = {
   payload_blocks : int;  (** [seg_blocks - summary_blocks] *)
   nsegments : int;
   first_segment_block : int;
+      (** first block of segment 0 — right after checkpoint region B, or
+          pushed up to the next [align_sectors] boundary *)
   cp_blocks : int;  (** blocks per checkpoint region *)
   cp_region : int * int;  (** block addresses of regions A and B *)
   max_files : int;
   n_imap_blocks : int;
   n_usage_blocks : int;
+  align_sectors : int;
+      (** the {!Config.t.segment_align_sectors} the layout was computed
+          with; recorded in the superblock (a mount must re-derive the
+          same segment area) *)
 }
 
 val imap_entry_bytes : int

@@ -17,17 +17,36 @@ type stats = {
   mutable busy_us : int;
 }
 
+(* A member disk of a shared registry updates two counters per fact: the
+   aggregate [disk.*] cell (shared by every member, so name-based
+   consumers — crash harnesses, bench reports — keep working on volumes)
+   and its own [disk.<i>.*] cell (the per-spindle view the scale-out
+   figure asserts on).  A standalone disk has a private registry, where
+   the aggregate cell IS the per-disk view and [own] stays [None]. *)
+type cell = { agg : Metrics.counter; own : Metrics.counter option }
+
+let cell_incr c =
+  Metrics.incr c.agg;
+  Option.iter Metrics.incr c.own
+
+let cell_add c n =
+  Metrics.add c.agg n;
+  Option.iter (fun o -> Metrics.add o n) c.own
+
+let cell_value c =
+  match c.own with Some o -> Metrics.value o | None -> Metrics.value c.agg
+
 type t = {
   geometry : Geometry.t;
   store : Bytes.t;
   metrics : Metrics.t;
-  c_reads : Metrics.counter;
-  c_writes : Metrics.counter;
-  c_sectors_read : Metrics.counter;
-  c_sectors_written : Metrics.counter;
-  c_seeks : Metrics.counter;
-  c_busy_us : Metrics.counter;
-  c_positioning_us : Metrics.counter;
+  c_reads : cell;
+  c_writes : cell;
+  c_sectors_read : cell;
+  c_sectors_written : cell;
+  c_seeks : cell;
+  c_busy_us : cell;
+  c_positioning_us : cell;
   mutable head_cyl : int;
   mutable next_sector : int;  (* sector following the last transfer *)
   mutable last_end_us : int;  (* simulated time the last transfer finished *)
@@ -37,19 +56,53 @@ type t = {
   mutable fault_hook : fault_hook option;
 }
 
-let create geometry =
-  let metrics = Metrics.create () in
+let create ?metrics ?member geometry =
+  let metrics =
+    match metrics with Some m -> m | None -> Metrics.create ()
+  in
+  let ( own_reads,
+        own_writes,
+        own_sectors_read,
+        own_sectors_written,
+        own_seeks,
+        own_busy_us,
+        own_positioning_us ) =
+    match member with
+    | None -> (None, None, None, None, None, None, None)
+    | Some i ->
+        if i < 0 then invalid_arg "Disk.create: negative member index";
+        ( Some (Metrics.member_counter metrics ~member:i "reads"),
+          Some (Metrics.member_counter metrics ~member:i "writes"),
+          Some (Metrics.member_counter metrics ~member:i "sectors_read"),
+          Some (Metrics.member_counter metrics ~member:i "sectors_written"),
+          Some (Metrics.member_counter metrics ~member:i "seeks"),
+          Some (Metrics.member_counter metrics ~member:i "busy_us"),
+          Some (Metrics.member_counter metrics ~member:i "positioning_us") )
+  in
   {
     geometry;
     store = Bytes.make (Geometry.size_bytes geometry) '\000';
     metrics;
-    c_reads = Metrics.counter metrics "disk.reads";
-    c_writes = Metrics.counter metrics "disk.writes";
-    c_sectors_read = Metrics.counter metrics "disk.sectors_read";
-    c_sectors_written = Metrics.counter metrics "disk.sectors_written";
-    c_seeks = Metrics.counter metrics "disk.seeks";
-    c_busy_us = Metrics.counter metrics "disk.busy_us";
-    c_positioning_us = Metrics.counter metrics "disk.positioning_us";
+    c_reads = { agg = Metrics.counter metrics "disk.reads"; own = own_reads };
+    c_writes = { agg = Metrics.counter metrics "disk.writes"; own = own_writes };
+    c_sectors_read =
+      {
+        agg = Metrics.counter metrics "disk.sectors_read";
+        own = own_sectors_read;
+      };
+    c_sectors_written =
+      {
+        agg = Metrics.counter metrics "disk.sectors_written";
+        own = own_sectors_written;
+      };
+    c_seeks = { agg = Metrics.counter metrics "disk.seeks"; own = own_seeks };
+    c_busy_us =
+      { agg = Metrics.counter metrics "disk.busy_us"; own = own_busy_us };
+    c_positioning_us =
+      {
+        agg = Metrics.counter metrics "disk.positioning_us";
+        own = own_positioning_us;
+      };
     head_cyl = 0;
     next_sector = 0;
     last_end_us = 0;
@@ -69,17 +122,17 @@ let metrics t = t.metrics
    existed; writes to the returned record go nowhere. *)
 let stats t =
   {
-    reads = Metrics.value t.c_reads;
-    writes = Metrics.value t.c_writes;
-    sectors_read = Metrics.value t.c_sectors_read;
-    sectors_written = Metrics.value t.c_sectors_written;
-    seeks = Metrics.value t.c_seeks;
-    busy_us = Metrics.value t.c_busy_us;
+    reads = cell_value t.c_reads;
+    writes = cell_value t.c_writes;
+    sectors_read = cell_value t.c_sectors_read;
+    sectors_written = cell_value t.c_sectors_written;
+    seeks = cell_value t.c_seeks;
+    busy_us = cell_value t.c_busy_us;
   }
 
-let seek_count t = Metrics.value t.c_seeks
-let busy_us t = Metrics.value t.c_busy_us
-let positioning_us t = Metrics.value t.c_positioning_us
+let seek_count t = cell_value t.c_seeks
+let busy_us t = cell_value t.c_busy_us
+let positioning_us t = cell_value t.c_positioning_us
 let last_was_streamed t = t.last_streamed
 let head_sector t = t.next_sector
 
@@ -119,11 +172,11 @@ let service ?start_us t ~sector ~count =
             if lag = 0 then 0 else rot - lag
     else begin
       let seek = Geometry.seek_us g ~from_cyl:t.head_cyl ~to_cyl:cyl in
-      if seek > 0 then Metrics.incr t.c_seeks;
+      if seek > 0 then cell_incr t.c_seeks;
       seek + Geometry.avg_rotational_latency_us g
     end
   in
-  Metrics.add t.c_positioning_us positioning;
+  cell_add t.c_positioning_us positioning;
   let total = positioning + Geometry.transfer_us g ~sectors:count in
   t.head_cyl <- Geometry.cylinder_of_sector g (sector + count - 1);
   t.next_sector <- sector + count;
@@ -137,9 +190,9 @@ let read ?start_us t ~sector ~count =
   | Some h -> h.on_read ~sector ~count
   | None -> ());
   let us = service ?start_us t ~sector ~count in
-  Metrics.incr t.c_reads;
-  Metrics.add t.c_sectors_read count;
-  Metrics.add t.c_busy_us us;
+  cell_incr t.c_reads;
+  cell_add t.c_sectors_read count;
+  cell_add t.c_busy_us us;
   let ss = t.geometry.Geometry.sector_size in
   (Bytes.sub t.store (sector * ss) (count * ss), us)
 
@@ -174,9 +227,9 @@ let write ?start_us t ~sector data =
   Bytes.blit data 0 t.store (sector * ss) (persisted * ss);
   if t.crashed then raise Crash;
   let us = service ?start_us t ~sector ~count in
-  Metrics.incr t.c_writes;
-  Metrics.add t.c_sectors_written count;
-  Metrics.add t.c_busy_us us;
+  cell_incr t.c_writes;
+  cell_add t.c_sectors_written count;
+  cell_add t.c_busy_us us;
   us
 
 let set_crash_after t ~sectors =

@@ -45,7 +45,15 @@ type stats = {
   mutable busy_us : int;  (** total service time of all requests *)
 }
 
-val create : Geometry.t -> t
+val create : ?metrics:Lfs_obs.Metrics.t -> ?member:int -> Geometry.t -> t
+(** [create geometry] makes a standalone disk with a private metrics
+    registry.  A {!Volume} passes [~metrics] (the registry shared by the
+    whole multi-member stack) and [~member:i]: the disk then updates both
+    the shared aggregate [disk.*] counters (get-or-create on the common
+    registry, so they sum over members) and its own [disk.<i>.*] family —
+    the per-spindle view.  Per-disk accessors below ({!stats},
+    {!seek_count}, …) always report this disk alone. *)
+
 val geometry : t -> Geometry.t
 
 val set_fault_hook : t -> fault_hook option -> unit

@@ -12,6 +12,7 @@ type scenario = {
   read_error_rate : float;
   read_error_burst : int;
   bad_sectors : int list;
+  member : int option;
 }
 
 let quiet =
@@ -22,6 +23,7 @@ let quiet =
     read_error_rate = 0.;
     read_error_burst = 1;
     bad_sectors = [];
+    member = None;
   }
 
 type t = {
@@ -100,11 +102,25 @@ let on_read t ~sector ~count =
     end
   end
 
+(* The member disks the scenario targets: all of them by default, one
+   spindle when [scenario.member] is set (how a mirror-degraded test
+   fails exactly one replica).  On a single-disk stack the only valid
+   member is 0. *)
+let target_disks io scenario =
+  match scenario.member with
+  | None -> List.init (Io.members io) (Io.member_disk io)
+  | Some m ->
+      if m < 0 || m >= Io.members io then
+        invalid_arg
+          (Printf.sprintf "Faulty.attach: member %d of %d" m (Io.members io));
+      [ Io.member_disk io m ]
+
 let attach io scenario =
   if scenario.read_error_rate < 0. || scenario.read_error_rate > 1. then
     invalid_arg "Faulty.attach: read_error_rate outside [0, 1]";
   if scenario.read_error_burst < 1 then
     invalid_arg "Faulty.attach: read_error_burst < 1";
+  let targets = target_disks io scenario in
   let metrics = Io.metrics io in
   let t =
     {
@@ -123,17 +139,26 @@ let attach io scenario =
       pending_failures = 0;
     }
   in
-  Disk.set_fault_hook (Io.disk io)
-    (Some
-       {
-         Disk.on_read = (fun ~sector ~count -> on_read t ~sector ~count);
-         on_write = (fun ~sector ~count -> on_write t ~sector ~count);
-       });
+  List.iter
+    (fun d ->
+      Disk.set_fault_hook d
+        (Some
+           {
+             Disk.on_read = (fun ~sector ~count -> on_read t ~sector ~count);
+             on_write = (fun ~sector ~count -> on_write t ~sector ~count);
+           }))
+    targets;
   t
 
-let detach t = Disk.set_fault_hook (Io.disk t.io) None
+let detach t =
+  List.iter (fun d -> Disk.set_fault_hook d None) (target_disks t.io t.scenario)
+
 let writes_seen t = t.writes
 let crashed_at t = t.crashed_at
 let faults_injected t = t.faults
-let crashed t = Disk.crashed (Io.disk t.io)
-let clear_crash t = Disk.clear_crash (Io.disk t.io)
+
+let crashed t =
+  List.exists Disk.crashed (List.init (Io.members t.io) (Io.member_disk t.io))
+
+let clear_crash t =
+  List.iter Disk.clear_crash (List.init (Io.members t.io) (Io.member_disk t.io))

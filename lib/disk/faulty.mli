@@ -43,6 +43,12 @@ type scenario = {
           the {!Io} retry budget if the request must eventually
           succeed. *)
   bad_sectors : int list;  (** Sticky unreadable sectors. *)
+  member : int option;
+      (** Restrict the scenario to one volume member ([None] = the whole
+          device: every member of a volume, or the single disk).  Sector
+          addresses in [bad_sectors] are member-local.  Failing one
+          mirror replica this way exercises the {!Io} degraded-read
+          fail-over. *)
 }
 
 val quiet : scenario
@@ -51,12 +57,14 @@ val quiet : scenario
 type t
 
 val attach : Io.t -> scenario -> t
-(** Install the scenario on [io]'s disk, replacing any previous hook.
-    Fault counting (and the write-boundary counter) starts here.
+(** Install the scenario on [io]'s device — every member disk, or just
+    [scenario.member] — replacing any previous hook.  Fault counting
+    (and the write-boundary counter) starts here and is shared across
+    members.
     @raise Invalid_argument on a malformed scenario. *)
 
 val detach : t -> unit
-(** Remove the hook; the disk behaves perfectly again. *)
+(** Remove the hook(s); the device behaves perfectly again. *)
 
 val writes_seen : t -> int
 (** Write requests observed since [attach] — the boundary count a

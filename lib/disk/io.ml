@@ -14,11 +14,26 @@ type request = {
 
 exception Read_failed of { sector : int; attempts : int }
 
+(* The device behind the scheduler: one disk, or a multi-member volume.
+   Either way, every member ("lane") has its own busy horizon and request
+   queue — a single disk is simply the one-lane case, running the exact
+   same code paths. *)
+type device = Single of Disk.t | Vol of Volume.t
+
+type lane = {
+  l_member : int;
+  mutable l_busy_until_us : int;
+  mutable l_sched : Sched.t option;
+      (* None = immediate issue-order service *)
+}
+
 type t = {
-  disk : Disk.t;
+  device : device;
+  lanes : lane array;
   clock : Clock.t;
   cpu : Cpu_model.t;
   bus : Bus.t;
+  metrics : Metrics.t;
   h_read_us : Metrics.histogram;
   h_write_us : Metrics.histogram;
   h_request_sectors : Metrics.histogram;
@@ -30,28 +45,30 @@ type t = {
   c_clustered_write_blocks : Metrics.counter;
   c_retries : Metrics.counter;
   c_backoff_us : Metrics.counter;
+  c_degraded_reads : Metrics.counter;
   max_backlog_us : int;
   read_attempts : int;
   retry_backoff_us : int;
-  mutable busy_until_us : int;
-  mutable sched : Sched.t option;  (* None = immediate issue-order service *)
   mutable max_queue : int;
   mutable audit : Bus.sink option;  (* the legacy request log, as a sink *)
 }
 
 let is_disk_request = function Event.Disk_request _ -> true | _ -> false
 
-let create ?(max_backlog_us = 2_000_000) ?(read_attempts = 4)
-    ?(retry_backoff_us = 1_000) disk clock cpu =
+let make ?(max_backlog_us = 2_000_000) ?(read_attempts = 4)
+    ?(retry_backoff_us = 1_000) device metrics nlanes clock cpu =
   if max_backlog_us < 0 then invalid_arg "Io.create: negative backlog";
   if read_attempts < 1 then invalid_arg "Io.create: read_attempts < 1";
   if retry_backoff_us < 0 then invalid_arg "Io.create: negative backoff";
-  let metrics = Disk.metrics disk in
   {
-    disk;
+    device;
+    lanes =
+      Array.init nlanes (fun i ->
+          { l_member = i; l_busy_until_us = 0; l_sched = None });
     clock;
     cpu;
     bus = Bus.create ~now:(fun () -> Clock.now_us clock) ();
+    metrics;
     h_read_us = Metrics.histogram metrics "io.read_us";
     h_write_us = Metrics.histogram metrics "io.write_us";
     h_request_sectors = Metrics.histogram metrics "io.request_sectors";
@@ -64,25 +81,50 @@ let create ?(max_backlog_us = 2_000_000) ?(read_attempts = 4)
       Metrics.counter metrics "io.clustered_write_blocks";
     c_retries = Metrics.counter metrics "io.retries";
     c_backoff_us = Metrics.counter metrics "io.backoff_us";
+    c_degraded_reads = Metrics.counter metrics "io.degraded_reads";
     max_backlog_us;
     read_attempts;
     retry_backoff_us;
-    busy_until_us = 0;
-    sched = None;
     max_queue = 32;
     audit = None;
   }
+
+let create ?max_backlog_us ?read_attempts ?retry_backoff_us disk clock cpu =
+  make ?max_backlog_us ?read_attempts ?retry_backoff_us (Single disk)
+    (Disk.metrics disk) 1 clock cpu
 
 let of_geometry ?max_backlog_us ?read_attempts ?retry_backoff_us geometry clock
     cpu =
   create ?max_backlog_us ?read_attempts ?retry_backoff_us
     (Disk.create geometry) clock cpu
 
-let disk t = t.disk
+let of_volume ?max_backlog_us ?read_attempts ?retry_backoff_us volume clock cpu
+    =
+  make ?max_backlog_us ?read_attempts ?retry_backoff_us (Vol volume)
+    (Volume.metrics volume)
+    (Volume.members volume)
+    clock cpu
+
+let disk t =
+  match t.device with Single d -> d | Vol v -> Volume.member_disk v 0
+
+let volume t = match t.device with Single _ -> None | Vol v -> Some v
+let members t = Array.length t.lanes
+
+let member_disk t i =
+  match t.device with
+  | Single d ->
+      if i <> 0 then invalid_arg "Io.member_disk: single-disk stack";
+      d
+  | Vol v -> Volume.member_disk v i
+
+let geometry t =
+  match t.device with Single d -> Disk.geometry d | Vol v -> Volume.geometry v
+
 let clock t = t.clock
 let cpu t = t.cpu
 let bus t = t.bus
-let metrics t = Disk.metrics t.disk
+let metrics t = t.metrics
 let now_us t = Clock.now_us t.clock
 
 let charge_cpu t us = Clock.advance_us t.clock us
@@ -107,11 +149,32 @@ let record t ~kind ~sync ~sector ~sectors ~service_us ~sequential =
            sequential;
          })
 
-let sector_size t = (Disk.geometry t.disk).Geometry.sector_size
+let sector_size t = (geometry t).Geometry.sector_size
 
-(* Without a scheduler the device serves requests in issue order; a
-   request begins when both the caller and the device are ready. *)
-let start_time t = max (now_us t) t.busy_until_us
+let lane_disk t lane =
+  match t.device with
+  | Single d -> d
+  | Vol v -> Volume.member_disk v lane.l_member
+
+(* The member data path: a single disk is addressed directly, volume
+   members only through [Volume] (whose wrappers are the one sanctioned
+   raw-device surface besides this module). *)
+let dev_read t lane ~start_us ~sector ~count =
+  match t.device with
+  | Single d -> Disk.read ~start_us d ~sector ~count
+  | Vol v -> Volume.read ~start_us v ~member:lane.l_member ~sector ~count
+
+let dev_write t lane ~start_us ~sector data =
+  match t.device with
+  | Single d -> Disk.write ~start_us d ~sector data
+  | Vol v -> Volume.write ~start_us v ~member:lane.l_member ~sector data
+
+(* Without a scheduler the lane serves requests in issue order; a request
+   begins when both the caller and the member device are ready. *)
+let start_time t lane = max (now_us t) lane.l_busy_until_us
+
+let max_busy t =
+  Array.fold_left (fun acc l -> max acc l.l_busy_until_us) 0 t.lanes
 
 let emit_queue t ~action ~kind ~sector ~sectors ~depth ~wait_us =
   if Bus.enabled t.bus then
@@ -126,19 +189,23 @@ let emit_queue t ~action ~kind ~sector ~sectors ~depth ~wait_us =
            wait_us;
          })
 
+let emit_volume_op t ~op ~sector ~sectors ~runs =
+  if Bus.enabled t.bus then
+    Bus.emit t.bus (Event.Volume_op { op; sector; sectors; runs })
+
 (* Retry loop shared by the immediate and queued read paths.  A failed
    attempt costs only the retry backoff: the fault hook rejects the
    request before the device computes a service time, so the head never
    moves and the clock advances by the (exponentially growing) wait
    between attempts. *)
-let read_with_retries t ~start ~sector ~count ~sync =
+let read_with_retries t lane ~start ~sector ~count ~sync =
   let rec attempt n =
-    match Disk.read ~start_us:(start ()) t.disk ~sector ~count with
+    match dev_read t lane ~start_us:(start ()) ~sector ~count with
     | data, service_us ->
-        let sequential = Disk.last_was_streamed t.disk in
+        let sequential = Disk.last_was_streamed (lane_disk t lane) in
         record t ~kind:`Read ~sync ~sector ~sectors:count ~service_us
           ~sequential;
-        t.busy_until_us <- start () + service_us;
+        lane.l_busy_until_us <- start () + service_us;
         data
     | exception Disk.Read_fault _ ->
         if n >= t.read_attempts then raise (Read_failed { sector; attempts = n })
@@ -152,13 +219,13 @@ let read_with_retries t ~start ~sector ~count ~sync =
   in
   attempt 1
 
-(* Service one queued request.  The device worked through the queue in
-   the background: the request starts when the device is free and the
+(* Service one queued request.  The member worked through its queue in
+   the background: the request starts when the member is free and the
    request has arrived — time that may already lie in the past by the
    moment the dispatch order is decided (lazy dispatch still charges the
    device as if it ran continuously).  Returns the payload for reads. *)
-let dispatch_entry t q (e : Sched.entry) =
-  let start () = max t.busy_until_us e.Sched.arrival_us in
+let dispatch_entry t lane q (e : Sched.entry) =
+  let start () = max lane.l_busy_until_us e.Sched.arrival_us in
   let wait_us = start () - e.Sched.arrival_us in
   let depth = Sched.length q in
   let payload =
@@ -166,16 +233,16 @@ let dispatch_entry t q (e : Sched.entry) =
     | `Write ->
         let data = Option.get e.Sched.data in
         let service_us =
-          Disk.write ~start_us:(start ()) t.disk ~sector:e.Sched.sector data
+          dev_write t lane ~start_us:(start ()) ~sector:e.Sched.sector data
         in
         record t ~kind:`Write ~sync:e.Sched.sync ~sector:e.Sched.sector
           ~sectors:e.Sched.count ~service_us
-          ~sequential:(Disk.last_was_streamed t.disk);
-        t.busy_until_us <- start () + service_us;
+          ~sequential:(Disk.last_was_streamed (lane_disk t lane));
+        lane.l_busy_until_us <- start () + service_us;
         None
     | `Read ->
         Some
-          (read_with_retries t ~start ~sector:e.Sched.sector
+          (read_with_retries t lane ~start ~sector:e.Sched.sector
              ~count:e.Sched.count ~sync:e.Sched.sync)
   in
   Metrics.observe t.h_queue_wait wait_us;
@@ -185,113 +252,252 @@ let dispatch_entry t q (e : Sched.entry) =
 
 (* The oldest entry is always eligible, so a non-empty queue always
    dispatches: no livelock. *)
-let dispatch_next t q =
-  match Sched.select q ~head:(Disk.head_sector t.disk) with
+let dispatch_next t lane q =
+  match Sched.select q ~head:(Disk.head_sector (lane_disk t lane)) with
   | None -> None
-  | Some e -> Some (e, dispatch_entry t q e)
+  | Some e -> Some (e, dispatch_entry t lane q e)
 
-let dispatch_all t =
-  match t.sched with
+let dispatch_lane t lane =
+  match lane.l_sched with
   | None -> ()
   | Some q ->
-      let rec go () = if dispatch_next t q <> None then go () in
+      let rec go () = if dispatch_next t lane q <> None then go () in
       go ()
+
+let dispatch_all t = Array.iter (dispatch_lane t) t.lanes
 
 (* Dispatch in discipline order until the entry [id] has been serviced;
    returns its read payload.  Requests the discipline ranks ahead of the
    target are serviced first — this is the convoy a synchronous caller
    pays behind a deep queue. *)
-let dispatch_until t q ~id =
+let dispatch_until t lane q ~id =
   let rec go () =
-    match dispatch_next t q with
+    match dispatch_next t lane q with
     | None -> None
     | Some (e, payload) -> if e.Sched.id = id then payload else go ()
   in
   go ()
 
-let enqueue t q ~kind ~sync ~sector ~count ~data =
+let enqueue t lane q ~kind ~sync ~sector ~count ~data =
   let e =
     Sched.enqueue q ~kind ~sync ~sector ~count ~data ~arrival_us:(now_us t)
   in
+  ignore lane;
   Metrics.observe t.h_queue_depth (Sched.length q);
   emit_queue t ~action:`Enqueue ~kind ~sector ~sectors:count
     ~depth:(Sched.length q) ~wait_us:0;
   e
 
+(* ---- scatter/gather over a volume run's piece map ---- *)
+
+(* Assemble the member-contiguous payload of one write run from the
+   logical request buffer.  When the run covers the whole request in
+   order (single disk, mirror replica) the original buffer is returned
+   as-is — callers that enqueue must copy it then. *)
+let gather ~ss data run =
+  match run.Volume.pieces with
+  | [ (0, len) ] when len * ss = Bytes.length data -> data
+  | pieces ->
+      let out = Bytes.create (run.Volume.count * ss) in
+      let pos = ref 0 in
+      List.iter
+        (fun (off, len) ->
+          Bytes.blit data (off * ss) out (!pos * ss) (len * ss);
+          pos := !pos + len)
+        pieces;
+      out
+
+(* Spread one read run's member-contiguous data back into the logical
+   result buffer. *)
+let scatter ~ss data run out =
+  let pos = ref 0 in
+  List.iter
+    (fun (off, len) ->
+      Bytes.blit data (!pos * ss) out (off * ss) (len * ss);
+      pos := !pos + len)
+    run.Volume.pieces
+
+(* ---- per-run service, shared by every request path ---- *)
+
+(* One read run on one lane, honouring that lane's queue if present. *)
+let lane_read_run t lane ~sector ~count ~sync =
+  match lane.l_sched with
+  | None ->
+      read_with_retries t lane ~start:(fun () -> start_time t lane) ~sector
+        ~count ~sync
+  | Some q ->
+      let e = enqueue t lane q ~kind:`Read ~sync ~sector ~count ~data:None in
+      (match dispatch_until t lane q ~id:e.Sched.id with
+      | Some d -> d
+      | None -> assert false)
+
+(* One synchronous write run on one lane (payload already gathered and
+   owned by the caller). *)
+let lane_sync_write_run t lane ~sector data =
+  match lane.l_sched with
+  | None ->
+      let start = start_time t lane in
+      let service_us = dev_write t lane ~start_us:start ~sector data in
+      let sectors = Bytes.length data / sector_size t in
+      let sequential = Disk.last_was_streamed (lane_disk t lane) in
+      record t ~kind:`Write ~sync:true ~sector ~sectors ~service_us ~sequential;
+      lane.l_busy_until_us <- start + service_us
+  | Some q ->
+      let count = Bytes.length data / sector_size t in
+      let e =
+        enqueue t lane q ~kind:`Write ~sync:true ~sector ~count
+          ~data:(Some data)
+      in
+      ignore (dispatch_until t lane q ~id:e.Sched.id : bytes option)
+
+(* One asynchronous write run on one lane.  [owned] says whether [data]
+   may be handed to the queue without copying. *)
+let lane_async_write_run t lane ~sector ~owned data =
+  match lane.l_sched with
+  | None ->
+      let start = start_time t lane in
+      let service_us = dev_write t lane ~start_us:start ~sector data in
+      let sectors = Bytes.length data / sector_size t in
+      let sequential = Disk.last_was_streamed (lane_disk t lane) in
+      record t ~kind:`Write ~sync:false ~sector ~sectors ~service_us
+        ~sequential;
+      lane.l_busy_until_us <- start + service_us
+  | Some q ->
+      let count = Bytes.length data / sector_size t in
+      (* The queue owns the payload from here: copy so a caller reusing
+         its buffer cannot retroactively change a pending write. *)
+      let payload = if owned then data else Bytes.copy data in
+      let (_ : Sched.entry) =
+        enqueue t lane q ~kind:`Write ~sync:false ~sector ~count
+          ~data:(Some payload)
+      in
+      (* Bounded queue: past [max_queue] pending requests the member must
+         make room before the caller may continue. *)
+      while Sched.length q > t.max_queue do
+        ignore (dispatch_next t lane q : (Sched.entry * bytes option) option)
+      done
+
+(* ---- mirror read load balancing ---- *)
+
+(* Replicas ranked by how soon they could serve the request: shallowest
+   queue first, then earliest busy horizon, then closest head, then
+   member index (deterministic tie-break). *)
+let mirror_order t ~sector =
+  let score lane =
+    let qlen = match lane.l_sched with None -> 0 | Some q -> Sched.length q in
+    let head = Disk.head_sector (lane_disk t lane) in
+    (qlen, max 0 (lane.l_busy_until_us - now_us t), abs (head - sector),
+     lane.l_member)
+  in
+  List.sort
+    (fun a b -> compare (score a) (score b))
+    (Array.to_list t.lanes)
+
+(* A failed replica is transparently retried on the next-best member;
+   only when every replica exhausts its retry budget does the failure
+   surface.  Each fail-over is counted in [io.degraded_reads]. *)
+let mirror_read t ~sector ~count ~sync =
+  let rec go last = function
+    | [] -> (
+        match last with Some e -> raise e | None -> assert false)
+    | lane :: rest -> (
+        match lane_read_run t lane ~sector ~count ~sync with
+        | data -> (data, lane)
+        | exception (Read_failed _ as e) ->
+            if rest <> [] then Metrics.incr t.c_degraded_reads;
+            go (Some e) rest)
+  in
+  go None (mirror_order t ~sector)
+
+(* ---- public request paths ---- *)
+
 let sync_read t ~sector ~count =
   let go () =
-    match t.sched with
-    | None ->
-        let data =
-          read_with_retries t
-            ~start:(fun () -> start_time t)
-            ~sector ~count ~sync:true
-        in
-        Clock.advance_to_us t.clock t.busy_until_us;
+    match t.device with
+    | Single _ ->
+        let lane = t.lanes.(0) in
+        let data = lane_read_run t lane ~sector ~count ~sync:true in
+        Clock.advance_to_us t.clock lane.l_busy_until_us;
         data
-    | Some q ->
-        let e = enqueue t q ~kind:`Read ~sync:true ~sector ~count ~data:None in
-        let data =
-          match dispatch_until t q ~id:e.Sched.id with
-          | Some d -> d
-          | None -> assert false
-        in
-        Clock.advance_to_us t.clock t.busy_until_us;
-        data
+    | Vol v -> (
+        match Volume.policy v with
+        | Volume.Mirror ->
+            emit_volume_op t ~op:"read" ~sector ~sectors:count ~runs:1;
+            let data, lane = mirror_read t ~sector ~count ~sync:true in
+            Clock.advance_to_us t.clock lane.l_busy_until_us;
+            data
+        | Volume.Stripe _ | Volume.Log_stripe _ ->
+            let runs = Volume.map_read v ~sector ~count in
+            emit_volume_op t ~op:"read" ~sector ~sectors:count
+              ~runs:(List.length runs);
+            let ss = sector_size t in
+            let out = Bytes.create (count * ss) in
+            let finish = ref 0 in
+            List.iter
+              (fun (r : Volume.run) ->
+                let lane = t.lanes.(r.Volume.member) in
+                let data =
+                  lane_read_run t lane ~sector:r.Volume.sector
+                    ~count:r.Volume.count ~sync:true
+                in
+                scatter ~ss data r out;
+                finish := max !finish lane.l_busy_until_us)
+              runs;
+            (* The runs were issued together and serviced in parallel:
+               the caller resumes when the slowest member finishes. *)
+            Clock.advance_to_us t.clock !finish;
+            out)
   in
   (* The span covers the retry loop too: backoff waits are disk time. *)
   if Bus.enabled t.bus then Bus.with_span t.bus "io_read" go else go ()
 
 let sync_write t ~sector data =
   let go () =
-    match t.sched with
-    | None ->
-        let start = start_time t in
-        let service_us = Disk.write ~start_us:start t.disk ~sector data in
-        let sectors = Bytes.length data / sector_size t in
-        let sequential = Disk.last_was_streamed t.disk in
-        record t ~kind:`Write ~sync:true ~sector ~sectors ~service_us
-          ~sequential;
-        Clock.advance_to_us t.clock (start + service_us);
-        t.busy_until_us <- Clock.now_us t.clock
-    | Some q ->
+    match t.device with
+    | Single _ ->
+        let lane = t.lanes.(0) in
+        lane_sync_write_run t lane ~sector data;
+        Clock.advance_to_us t.clock lane.l_busy_until_us
+    | Vol v ->
         let count = Bytes.length data / sector_size t in
-        let e =
-          enqueue t q ~kind:`Write ~sync:true ~sector ~count ~data:(Some data)
-        in
-        ignore (dispatch_until t q ~id:e.Sched.id : bytes option);
-        Clock.advance_to_us t.clock t.busy_until_us
+        let runs = Volume.map_write v ~sector ~count in
+        emit_volume_op t ~op:"write" ~sector ~sectors:count
+          ~runs:(List.length runs);
+        let ss = sector_size t in
+        let finish = ref 0 in
+        List.iter
+          (fun (r : Volume.run) ->
+            let lane = t.lanes.(r.Volume.member) in
+            lane_sync_write_run t lane ~sector:r.Volume.sector
+              (gather ~ss data r);
+            finish := max !finish lane.l_busy_until_us)
+          runs;
+        Clock.advance_to_us t.clock !finish
   in
   if Bus.enabled t.bus then Bus.with_span t.bus "io_write" go else go ()
 
 let async_write t ~sector data =
   let go () =
-    (match t.sched with
-    | None ->
-        let start = start_time t in
-        let service_us = Disk.write ~start_us:start t.disk ~sector data in
-        let sectors = Bytes.length data / sector_size t in
-        let sequential = Disk.last_was_streamed t.disk in
-        record t ~kind:`Write ~sync:false ~sector ~sectors ~service_us
-          ~sequential;
-        t.busy_until_us <- start + service_us
-    | Some q ->
+    (match t.device with
+    | Single _ ->
+        lane_async_write_run t t.lanes.(0) ~sector ~owned:false data
+    | Vol v ->
         let count = Bytes.length data / sector_size t in
-        (* The queue owns the payload from here: copy so a caller reusing
-           its buffer cannot retroactively change a pending write. *)
-        let (_ : Sched.entry) =
-          enqueue t q ~kind:`Write ~sync:false ~sector ~count
-            ~data:(Some (Bytes.copy data))
-        in
-        (* Bounded queue: past [max_queue] pending requests the device
-           must make room before the caller may continue. *)
-        while Sched.length q > t.max_queue do
-          ignore (dispatch_next t q : (Sched.entry * bytes option) option)
-        done);
-    (* Writer throttling: the application may run ahead of the disk only by
-       the write-buffer depth. *)
-    if t.busy_until_us - Clock.now_us t.clock > t.max_backlog_us then
-      Clock.advance_to_us t.clock (t.busy_until_us - t.max_backlog_us)
+        let runs = Volume.map_write v ~sector ~count in
+        emit_volume_op t ~op:"write_async" ~sector ~sectors:count
+          ~runs:(List.length runs);
+        let ss = sector_size t in
+        List.iter
+          (fun (r : Volume.run) ->
+            let payload = gather ~ss data r in
+            lane_async_write_run t
+              t.lanes.(r.Volume.member)
+              ~sector:r.Volume.sector ~owned:(payload != data) payload)
+          runs);
+    (* Writer throttling: the application may run ahead of the disk only
+       by the write-buffer depth — measured against the slowest member. *)
+    if max_busy t - Clock.now_us t.clock > t.max_backlog_us then
+      Clock.advance_to_us t.clock (max_busy t - t.max_backlog_us)
   in
   (* The async span's elapsed time is only the throttle wait (if any):
      the op does not block on the device itself. *)
@@ -305,44 +511,83 @@ let note_clustered_write t ~blocks =
   Metrics.incr t.c_clustered_writes;
   Metrics.add t.c_clustered_write_blocks blocks
 
-let queue_depth t = match t.sched with None -> 0 | Some q -> Sched.length q
+let queue_depth t =
+  Array.fold_left
+    (fun acc lane ->
+      acc + match lane.l_sched with None -> 0 | Some q -> Sched.length q)
+    0 t.lanes
 
 let drain t =
-  let pending =
-    queue_depth t > 0 || t.busy_until_us > Clock.now_us t.clock
-  in
+  let pending = queue_depth t > 0 || max_busy t > Clock.now_us t.clock in
   let go () =
     dispatch_all t;
-    Clock.advance_to_us t.clock t.busy_until_us
+    Clock.advance_to_us t.clock (max_busy t)
   in
   (* Only span an actual wait — a no-op drain would add zero-length spans
      to every sync. *)
   if Bus.enabled t.bus && pending then Bus.with_span t.bus "io_drain" go
   else go ()
 
-let scheduler t = Option.map Sched.discipline t.sched
+let scheduler t = Option.map Sched.discipline t.lanes.(0).l_sched
 
 let set_scheduler ?(max_queue = 32) t d =
   if max_queue < 1 then invalid_arg "Io.set_scheduler: max_queue < 1";
-  (* Flush any pending queue under the old policy before switching, so a
+  (* Flush any pending queues under the old policy before switching, so a
      policy change can never reorder requests issued before it. *)
   dispatch_all t;
   t.max_queue <- max_queue;
-  t.sched <- Option.map Sched.create d
+  Array.iter
+    (fun lane ->
+      lane.l_sched <-
+        (match d with None -> None | Some disc -> Some (Sched.create disc)))
+    t.lanes
 
-let disk_stats t = Disk.stats t.disk
+let disk_stats t =
+  match t.device with
+  | Single d -> Disk.stats d
+  | Vol v ->
+      (* Aggregate member view, matching the shared disk.* counters. *)
+      let acc =
+        {
+          Disk.reads = 0;
+          writes = 0;
+          sectors_read = 0;
+          sectors_written = 0;
+          seeks = 0;
+          busy_us = 0;
+        }
+      in
+      for i = 0 to Volume.members v - 1 do
+        let s = Disk.stats (Volume.member_disk v i) in
+        acc.Disk.reads <- acc.Disk.reads + s.Disk.reads;
+        acc.Disk.writes <- acc.Disk.writes + s.Disk.writes;
+        acc.Disk.sectors_read <- acc.Disk.sectors_read + s.Disk.sectors_read;
+        acc.Disk.sectors_written <-
+          acc.Disk.sectors_written + s.Disk.sectors_written;
+        acc.Disk.seeks <- acc.Disk.seeks + s.Disk.seeks;
+        acc.Disk.busy_us <- acc.Disk.busy_us + s.Disk.busy_us
+      done;
+      acc
+
+let member_stats t i = Disk.stats (member_disk t i)
 
 let snapshot_media t =
-  (* Pending queued writes belong on the snapshot: flush them to the
-     device (extending its busy horizon) without advancing the clock. *)
+  (* Pending queued writes belong on the snapshot: flush them to every
+     member (extending its busy horizon) without advancing the clock. *)
   dispatch_all t;
-  Disk.snapshot t.disk
+  match t.device with
+  | Single d -> Disk.snapshot d
+  | Vol v -> Volume.snapshot v
 
 let restore_media t media =
-  (match t.sched with Some q -> Sched.clear q | None -> ());
-  Disk.restore t.disk media
+  Array.iter
+    (fun lane -> match lane.l_sched with Some q -> Sched.clear q | None -> ())
+    t.lanes;
+  match t.device with
+  | Single d -> Disk.restore d media
+  | Vol v -> Volume.restore v media
 
-let backlog_us t = max 0 (t.busy_until_us - Clock.now_us t.clock)
+let backlog_us t = max 0 (max_busy t - Clock.now_us t.clock)
 
 let recording t = t.audit <> None
 

@@ -29,7 +29,22 @@
     the legacy request log ({!set_recording}/{!requests}) is a thin view
     over a bus sink.  The Figure 1/2 experiment audits it to show FFS's
     eight small random writes versus LFS's single large sequential
-    one. *)
+    one.
+
+    {b Multi-disk volumes.}  The device behind the scheduler may be a
+    {!Volume} ({!of_volume}): N member disks, each with its own busy
+    horizon and — when a scheduler is installed — its own request queue,
+    all sharing the clock.  Requests are split by the volume's address
+    map into at most one contiguous run per member, the runs issued
+    together, and a synchronous caller resumes when the slowest member
+    finishes: an N-member striped segment write completes in roughly
+    [1/N] of the single-disk media time.  Mirror reads pick the replica
+    with the shallowest queue / earliest horizon / closest head and fail
+    over transparently (counted in [io.degraded_reads]).  A single disk
+    is the one-lane case of the same code, so single-disk timing is
+    unchanged.  Logical requests on volumes are additionally published
+    as [Volume_op] events; the per-member requests appear as the usual
+    [Disk_request]s (with member-local sectors). *)
 
 type t
 
@@ -77,7 +92,37 @@ val of_geometry :
 (** [create] over a fresh {!Disk.create} — lets workload/bench code build
     a whole stack without touching [Disk] directly. *)
 
+val of_volume :
+  ?max_backlog_us:int ->
+  ?read_attempts:int ->
+  ?retry_backoff_us:int ->
+  Volume.t ->
+  Clock.t ->
+  Cpu_model.t ->
+  t
+(** Mount a multi-member {!Volume} behind the scheduler.  Every member
+    gets its own busy horizon and (with {!set_scheduler}) its own queue;
+    options apply to all members. *)
+
 val disk : t -> Disk.t
+(** The device as a single disk — member 0 on a volume.  Prefer
+    {!geometry}/{!member_disk} in volume-aware code; this accessor keeps
+    single-disk tooling working. *)
+
+val volume : t -> Volume.t option
+(** The volume behind this stack, or [None] for a single disk. *)
+
+val members : t -> int
+(** Number of member devices (1 for a single disk). *)
+
+val member_disk : t -> int -> Disk.t
+(** Member [i]'s device.
+    @raise Invalid_argument if out of range (only 0 on a single disk). *)
+
+val geometry : t -> Geometry.t
+(** The logical geometry the file system should format: the disk's own on
+    a single-disk stack, {!Volume.geometry} on a volume. *)
+
 val clock : t -> Clock.t
 val cpu : t -> Cpu_model.t
 val now_us : t -> int
@@ -87,8 +132,9 @@ val bus : t -> Lfs_obs.Bus.t
     sink or subscriber is attached. *)
 
 val metrics : t -> Lfs_obs.Metrics.t
-(** The registry shared by the whole stack (same as
-    [Disk.metrics (disk t)]). *)
+(** The registry shared by the whole stack: [Disk.metrics (disk t)] on a
+    single disk, {!Volume.metrics} (shared by every member) on a
+    volume. *)
 
 (** {1 CPU accounting} *)
 
@@ -129,21 +175,28 @@ val scheduler : t -> Sched.discipline option
 (** The installed discipline, if any. *)
 
 val queue_depth : t -> int
-(** Number of requests currently pending in the scheduler queue (0 when
+(** Number of requests currently pending across all member queues (0 when
     no scheduler is installed). *)
 
 val disk_stats : t -> Disk.stats
-(** [Disk.stats (disk t)] — the sanctioned way for workloads and bench
-    code to read device counters without naming [Disk]. *)
+(** The sanctioned way for workloads and bench code to read device
+    counters without naming [Disk].  On a volume this is the aggregate
+    over all members (matching the shared [disk.*] registry counters). *)
+
+val member_stats : t -> int -> Disk.stats
+(** {!disk_stats} for one member — the per-spindle view ([disk.<i>.*])
+    without naming [Disk]. *)
 
 val snapshot_media : t -> bytes
-(** Copy of the underlying media ({!Disk.snapshot}).  Queued writes are
-    dispatched first (without advancing the clock) so the snapshot
-    reflects everything issued. *)
+(** Copy of the underlying media — member media concatenated in member
+    order on a volume, so crash sweeps and replays are deterministic and
+    byte-comparable.  Queued writes on every member are dispatched first
+    (without advancing the clock) so the snapshot reflects everything
+    issued. *)
 
 val restore_media : t -> bytes -> unit
-(** Overwrite the media from a snapshot ({!Disk.restore}); device head
-    state is reset and any queued requests are discarded. *)
+(** Overwrite the media from a {!snapshot_media} image; every member's
+    head state is reset and any queued requests are discarded. *)
 
 val note_clustered_read : t -> blocks:int -> unit
 (** Account one multi-block read request that replaced [blocks]

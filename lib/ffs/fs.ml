@@ -932,7 +932,7 @@ let unmount t = do_sync t
 let root_inum = 1
 
 let format io config =
-  let geometry = Lfs_disk.Disk.geometry (Io.disk io) in
+  let geometry = Io.geometry io in
   match Layout.compute config geometry with
   | Error _ as e -> e
   | Ok layout ->
@@ -978,7 +978,7 @@ let format io config =
       Ok ()
 
 let mount ?(config = Config.default) io =
-  let geometry = Lfs_disk.Disk.geometry (Io.disk io) in
+  let geometry = Io.geometry io in
   let sector_size = geometry.Lfs_disk.Geometry.sector_size in
   let count = min geometry.Lfs_disk.Geometry.sectors (65536 / sector_size) in
   let sb = Io.sync_read io ~sector:0 ~count in

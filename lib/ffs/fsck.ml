@@ -20,7 +20,7 @@ let pp_report ppf r =
     r.bitmap_errors Lfs_disk.Clock.pp_duration_us r.elapsed_us
 
 let run io =
-  let geometry = Lfs_disk.Disk.geometry (Io.disk io) in
+  let geometry = Io.geometry io in
   let sector_size = geometry.Geometry.sector_size in
   let count = min geometry.Geometry.sectors (65536 / sector_size) in
   let sb = Io.sync_read io ~sector:0 ~count in

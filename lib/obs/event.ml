@@ -34,6 +34,7 @@ type t =
       wait_us : int;
     }
   | Client_op of { client : int; op : string; latency_us : int }
+  | Volume_op of { op : string; sector : int; sectors : int; runs : int }
   | Span_begin of { name : string; depth : int }
   | Span_end of { name : string; depth : int; elapsed_us : int }
   | Note of { name : string; fields : (string * Json.t) list }
@@ -55,6 +56,7 @@ let name = function
   | Fault_injected _ -> "fault_injected"
   | Disk_queue _ -> "disk_queue"
   | Client_op _ -> "client_op"
+  | Volume_op _ -> "volume_op"
   | Span_begin _ -> "span_begin"
   | Span_end _ -> "span_end"
   | Note _ -> "note"
@@ -130,6 +132,13 @@ let fields = function
         ("client", Json.Int client);
         ("op", Json.String op);
         ("latency_us", Json.Int latency_us);
+      ]
+  | Volume_op { op; sector; sectors; runs } ->
+      [
+        ("op", Json.String op);
+        ("sector", Json.Int sector);
+        ("sectors", Json.Int sectors);
+        ("runs", Json.Int runs);
       ]
   | Span_begin { name; depth } ->
       [ ("name", Json.String name); ("depth", Json.Int depth) ]

@@ -53,6 +53,13 @@ type t =
           the operation name (["create"], ["read"], ["overwrite"],
           ["delete"]), [latency_us] the end-to-end simulated latency
           including queueing behind other clients. *)
+  | Volume_op of { op : string; sector : int; sectors : int; runs : int }
+      (** One logical request on a multi-member {!Lfs_disk.Volume} device:
+          [op] is ["read"], ["write"] or ["write_async"],
+          [sector]/[sectors] give the logical (volume-level) range and
+          [runs] the number of per-member device requests it split into.
+          The member-level requests themselves still appear as ordinary
+          [Disk_request] events. *)
   | Span_begin of { name : string; depth : int }
   | Span_end of { name : string; depth : int; elapsed_us : int }
   | Note of { name : string; fields : (string * Json.t) list }

@@ -48,6 +48,13 @@ let counter t name =
   | Mcounter c -> c
   | _ -> assert false
 
+(* Per-member device instruments ("disk.<i>.reads", ...): the member
+   index is a label dimension, not part of the metric identity, so the
+   catalog records these as "disk.<i>.<name>". *)
+let member_counter t ~member name =
+  if member < 0 then invalid_arg "Metrics.member_counter: negative member";
+  counter t (Printf.sprintf "disk.%d.%s" member name)
+
 let incr c = c.c <- c.c + 1
 let add c n = c.c <- c.c + n
 let value c = c.c

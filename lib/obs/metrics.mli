@@ -22,6 +22,14 @@ val counter : t -> string -> counter
 (** Get or create.  @raise Invalid_argument if the name is registered as
     a different kind. *)
 
+val member_counter : t -> member:int -> string -> counter
+(** Get or create a per-member device counter: [member_counter t ~member:2
+    "seeks"] is the counter named ["disk.2.seeks"].  The member index is a
+    label dimension on the [disk.*] family — the catalog lists the family
+    once as [disk.<i>.<name>].  Aggregate (unlabelled) [disk.*] counters
+    are registered separately by the device layer so name-based consumers
+    keep working on multi-member stacks. *)
+
 val incr : counter -> unit
 val add : counter -> int -> unit
 val value : counter -> int

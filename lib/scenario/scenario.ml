@@ -12,6 +12,7 @@ module Driver = Lfs_workload.Driver
 module Setup = Lfs_workload.Setup
 module Faulty = Lfs_disk.Faulty
 module Io = Lfs_disk.Io
+module Volume = Lfs_disk.Volume
 module Metrics = Lfs_obs.Metrics
 module Json = Lfs_obs.Json
 module Fs_intf = Lfs_vfs.Fs_intf
@@ -51,6 +52,8 @@ type t = {
   sc_boundaries : int;
   sc_read_back : bool;
   sc_invariants : (string * (Fs_intf.instance -> string list)) list;
+  sc_volume : (Volume.policy * int) option;
+  sc_fault_member : int option;
   sc_seed : int;
   sc_cli : string list;
 }
@@ -85,6 +88,8 @@ let make =
     sc_boundaries = default_boundaries;
     sc_read_back = false;
     sc_invariants = [];
+    sc_volume = None;
+    sc_fault_member = None;
     sc_seed = 1;
     sc_cli = [];
   }
@@ -103,6 +108,8 @@ let read_back spec = { spec with sc_read_back = true }
 let invariant ?(name = "user") f spec =
   { spec with sc_invariants = (name, f) :: spec.sc_invariants }
 
+let volume policy members spec = { spec with sc_volume = Some (policy, members) }
+let fault_member m spec = { spec with sc_fault_member = Some m }
 let seed s spec = { spec with sc_seed = s }
 let cli_flags fl spec = { spec with sc_cli = spec.sc_cli @ fl }
 let fsck = Driver.integrity
@@ -258,7 +265,29 @@ let validate spec =
       | Checkpoint_bad_sector -> ())
     spec.sc_faults;
   if spec.sc_read_back && not (List.exists is_transient spec.sc_faults) then
-    Driver.fail "scenario: read_back needs a Transient fault"
+    Driver.fail "scenario: read_back needs a Transient fault";
+  (match spec.sc_volume with
+  | Some (_, n) when n < 1 -> Driver.fail "scenario: volume members must be >= 1"
+  | Some (Volume.Mirror, _) when spec.sc_sweep ->
+      (* A mid-fan-out crash leaves mirror replicas divergent; which copy
+         a later load-balanced read sees is unspecified, so the durable
+         model cannot assert anything. *)
+      Driver.fail "scenario: crash sweeps on mirror volumes are unsound"
+  | Some _ when bad_sector ->
+      Driver.fail "scenario: Checkpoint_bad_sector runs on a single disk"
+  | _ -> ());
+  match spec.sc_fault_member with
+  | None -> ()
+  | Some m -> (
+      match spec.sc_volume with
+      | None -> Driver.fail "scenario: fault_member needs a volume"
+      | Some (_, n) ->
+          if m < 0 || m >= n then
+            Driver.fail "scenario: fault_member %d out of range (%d members)" m n;
+          if spec.sc_sweep || spec.sc_read_back then
+            Driver.fail
+              "scenario: fault_member applies to stream/engine faults \
+               (sweep and read_back drive whole-device scenarios)")
 
 (* ---------- stream compilation ---------- *)
 
@@ -331,7 +360,7 @@ let steps_of spec =
 
 type injection = { inj_writes : int; inj_faults : int; inj_crashed : bool }
 
-let scenario_of_faults ~seed fl =
+let scenario_of_faults ?member ~seed fl =
   List.fold_left
     (fun scn f ->
       match f with
@@ -344,11 +373,11 @@ let scenario_of_faults ~seed fl =
           Driver.fail
             "scenario: Checkpoint_bad_sector is a whole-run mode, not an \
              attachable fault")
-    { Faulty.quiet with Faulty.seed }
+    { Faulty.quiet with Faulty.seed; member }
     fl
 
-let with_faults ?(seed = 1) io fl f =
-  let h = Faulty.attach io (scenario_of_faults ~seed fl) in
+let with_faults ?member ?(seed = 1) io fl f =
+  let h = Faulty.attach io (scenario_of_faults ?member ~seed fl) in
   let snap () =
     {
       inj_writes = Faulty.writes_seen h;
@@ -461,18 +490,35 @@ let stats_of_instance ?(ops_run = 0) ?(faults = 0) inst =
   }
 
 let small_instance spec =
-  match spec.sc_system with
-  | `Lfs ->
-      Setup.lfs ~disk_mb:16 ~cpu:Lfs_disk.Cpu_model.free
-        ~config:Lfs_core.Config.small ()
-  | `Ffs ->
-      Setup.ffs ~disk_mb:16 ~cpu:Lfs_disk.Cpu_model.free
-        ~config:Lfs_ffs.Config.small ()
+  match spec.sc_volume with
+  | None -> (
+      match spec.sc_system with
+      | `Lfs ->
+          Setup.lfs ~disk_mb:16 ~cpu:Lfs_disk.Cpu_model.free
+            ~config:Lfs_core.Config.small ()
+      | `Ffs ->
+          Setup.ffs ~disk_mb:16 ~cpu:Lfs_disk.Cpu_model.free
+            ~config:Lfs_ffs.Config.small ())
+  | Some (policy, members) -> (
+      let io =
+        Setup.make_volume_io ~disk_mb:16 ~cpu:Lfs_disk.Cpu_model.free ~policy
+          ~members ()
+      in
+      match spec.sc_system with
+      | `Lfs -> Setup.lfs_on io ~config:Lfs_core.Config.small ()
+      | `Ffs -> Setup.ffs_on io ~config:Lfs_ffs.Config.small ())
 
 let engine_instance spec =
-  match spec.sc_system with
-  | `Lfs -> Setup.lfs ~disk_mb:64 ()
-  | `Ffs -> Setup.ffs ~disk_mb:64 ()
+  match spec.sc_volume with
+  | None -> (
+      match spec.sc_system with
+      | `Lfs -> Setup.lfs ~disk_mb:64 ()
+      | `Ffs -> Setup.ffs ~disk_mb:64 ())
+  | Some (policy, members) -> (
+      let io = Setup.make_volume_io ~disk_mb:64 ~policy ~members () in
+      match spec.sc_system with
+      | `Lfs -> Setup.lfs_on io ()
+      | `Ffs -> Setup.ffs_on io ())
 
 (* First violated user invariant, in declaration order. *)
 let run_invariants spec inst =
@@ -506,6 +552,18 @@ let replay_command spec =
       Buffer.add_string b (Printf.sprintf " --think %d:%d" lo hi)
   | None -> ());
   if spec.sc_sweep then Buffer.add_string b " --sweep";
+  (match spec.sc_volume with
+  | Some (Volume.Mirror, n) ->
+      Buffer.add_string b (Printf.sprintf " --volume mirror:%d" n)
+  | Some (Volume.Stripe { chunk_sectors }, n) ->
+      Buffer.add_string b (Printf.sprintf " --volume stripe:%d:%d" n chunk_sectors)
+  | Some (Volume.Log_stripe { stripe_sectors }, n) ->
+      Buffer.add_string b
+        (Printf.sprintf " --volume log_stripe:%d:%d" n stripe_sectors)
+  | None -> ());
+  (match spec.sc_fault_member with
+  | Some m -> Buffer.add_string b (Printf.sprintf " --fault-member %d" m)
+  | None -> ());
   if spec.sc_boundaries <> default_boundaries then
     Buffer.add_string b (Printf.sprintf " --boundaries %d" spec.sc_boundaries);
   List.iter
@@ -639,7 +697,8 @@ let exec_stream spec steps =
           (if transient = [] then run_all ()
            else
              let (), inj =
-               with_faults ~seed:spec.sc_seed (Driver.io inst) transient run_all
+               with_faults ?member:spec.sc_fault_member ~seed:spec.sc_seed
+                 (Driver.io inst) transient run_all
              in
              faults := inj.inj_faults);
           None
@@ -753,16 +812,17 @@ let run_sweep spec =
   let ops = crash_ops spec in
   let oracle ops' =
     let o =
-      Crashpoint.sweep ~torn ~max_boundaries:spec.sc_boundaries
-        ~seed:spec.sc_seed spec.sc_system ops'
+      Crashpoint.sweep ?volume:spec.sc_volume ~torn
+        ~max_boundaries:spec.sc_boundaries ~seed:spec.sc_seed spec.sc_system
+        ops'
     in
     match o.Crashpoint.violations with
     | v :: _ -> Some v
     | [] -> clean_replay spec ops'
   in
   let outcome =
-    Crashpoint.sweep ~torn ~max_boundaries:spec.sc_boundaries ~seed:spec.sc_seed
-      spec.sc_system ops
+    Crashpoint.sweep ?volume:spec.sc_volume ~torn
+      ~max_boundaries:spec.sc_boundaries ~seed:spec.sc_seed spec.sc_system ops
   in
   let msg =
     match outcome.Crashpoint.violations with
@@ -802,15 +862,16 @@ let run_read_fault spec =
   let ops = crash_ops spec in
   let oracle ops' =
     let o =
-      Crashpoint.read_fault_run ~rate ~burst ~seed:spec.sc_seed spec.sc_system
-        ops'
+      Crashpoint.read_fault_run ?volume:spec.sc_volume ~rate ~burst
+        ~seed:spec.sc_seed spec.sc_system ops'
     in
     match o.Crashpoint.rf_violations with
     | v :: _ -> Some v
     | [] -> clean_replay spec ops'
   in
   let o =
-    Crashpoint.read_fault_run ~rate ~burst ~seed:spec.sc_seed spec.sc_system ops
+    Crashpoint.read_fault_run ?volume:spec.sc_volume ~rate ~burst
+      ~seed:spec.sc_seed spec.sc_system ops
   in
   let msg =
     match o.Crashpoint.rf_violations with
@@ -893,8 +954,8 @@ let run_engine spec n =
     if transient = [] then Engine.run ~config inst
     else begin
       let r, inj =
-        with_faults ~seed:spec.sc_seed (Driver.io inst) transient (fun () ->
-            Engine.run ~config inst)
+        with_faults ?member:spec.sc_fault_member ~seed:spec.sc_seed
+          (Driver.io inst) transient (fun () -> Engine.run ~config inst)
       in
       faults := inj.inj_faults;
       r

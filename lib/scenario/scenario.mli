@@ -103,6 +103,19 @@ val read_back : t -> t
 (** Compile to a {!Lfs_workload.Crashpoint.read_fault_run}: requires a
     [Transient] fault. *)
 
+val volume : Lfs_disk.Volume.policy -> int -> t -> t
+(** Run the scenario on a multi-disk volume of that many members instead
+    of a single disk (every mode except [Checkpoint_bad_sector], which
+    targets a specific physical sector; mirror volumes additionally
+    reject [crash_sweep] — a mid-fan-out crash leaves replicas
+    divergent, so the durable model cannot assert anything). *)
+
+val fault_member : int -> t -> t
+(** Confine injected faults to one volume member (stream/engine modes;
+    requires {!volume}).  A mirror with a [Transient] fault on one
+    member exercises the degraded-read path: the other replica serves
+    the data and [io.degraded_reads] counts the failovers. *)
+
 val invariant : ?name:string -> (Lfs_vfs.Fs_intf.instance -> string list) -> t -> t
 (** Register a user invariant: given the surviving instance (for sweep
     modes, a fault-free replay of the same ops), return violation
@@ -198,11 +211,17 @@ type injection = {
 }
 
 val with_faults :
-  ?seed:int -> Lfs_disk.Io.t -> fault list -> (unit -> 'a) -> 'a * injection
+  ?member:int ->
+  ?seed:int ->
+  Lfs_disk.Io.t ->
+  fault list ->
+  (unit -> 'a) ->
+  'a * injection
 (** Attach the faults to [io], run the thunk, and always detach
     (clearing any crash) on the way out — the sanctioned way for tests
     to use {!Lfs_disk.Faulty} directly.  Accepts the scoped fault kinds
-    ([Bad_sectors], [Crash_after]) that whole-run specs reject. *)
+    ([Bad_sectors], [Crash_after]) that whole-run specs reject.
+    [member] confines the faults to one volume member. *)
 
 (** {1 Shrinking} *)
 

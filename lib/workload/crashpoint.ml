@@ -42,12 +42,17 @@ let smallfile ?(files = 6) ?(size = 2048) () =
 
 type sys_state = L of Lfs_core.Fs.t | F of Lfs_ffs.Fs.t
 
-let make_io () =
+let make_io ?volume () =
   let geometry = Geometry.wren_iv ~size_bytes:(16 * 1024 * 1024) in
-  Io.of_geometry geometry (Clock.create ()) Cpu_model.free
+  match volume with
+  | None -> Io.of_geometry geometry (Clock.create ()) Cpu_model.free
+  | Some (policy, members) ->
+      Io.of_volume
+        (Lfs_disk.Volume.create policy ~members geometry)
+        (Clock.create ()) Cpu_model.free
 
-let start (sys : system) =
-  let io = make_io () in
+let start ?volume (sys : system) =
+  let io = make_io ?volume () in
   match sys with
   | `Lfs -> (
       let config = Lfs_core.Config.small in
@@ -113,8 +118,8 @@ let counter io name =
 (* Probe run: same workload on a fault-free stack, recording the
    cumulative write-request count after each op.  Replays crash at write
    boundary [k]; the probe tells us which ops completed before it. *)
-let probe sys ops =
-  let io, st = start sys in
+let probe ?volume sys ops =
+  let io, st = start ?volume sys in
   let f = Faulty.attach io Faulty.quiet in
   let cum = Array.make (List.length ops) 0 in
   List.iteri
@@ -306,8 +311,8 @@ type outcome = {
   points : point list;
 }
 
-let replay sys ops ~k ~torn ~seed =
-  let io, st0 = start sys in
+let replay ?volume sys ops ~k ~torn ~seed =
+  let io, st0 = start ?volume sys in
   let scenario =
     { Faulty.quiet with seed; crash_after_writes = Some k; torn_write = torn }
   in
@@ -346,8 +351,16 @@ let choose_boundaries ~total ~cap ~seed =
     List.sort compare (Array.to_list (Array.sub all 0 cap))
   end
 
-let sweep ?(torn = false) ?(max_boundaries = 48) ?(seed = 7) sys ops =
-  let total, cum = probe sys ops in
+let sweep ?volume ?(torn = false) ?(max_boundaries = 48) ?(seed = 7) sys ops =
+  (match volume with
+  | Some (Lfs_disk.Volume.Mirror, _) ->
+      (* A mid-fan-out crash leaves the replicas divergent — which copy a
+         later mirror read load-balances onto is then semantically
+         unspecified, so the durable model cannot assert anything.
+         Striped policies have exactly one copy and stay sound. *)
+      invalid_arg "Crashpoint.sweep: crash sweeps on mirrors are unsound"
+  | Some _ | None -> ());
+  let total, cum = probe ?volume sys ops in
   let boundaries = choose_boundaries ~total ~cap:max_boundaries ~seed in
   let ever_files =
     List.filter_map (function Create p -> Some p | _ -> None) ops
@@ -368,7 +381,7 @@ let sweep ?(torn = false) ?(max_boundaries = 48) ?(seed = 7) sys ops =
               :: !violations)
           fmt
       in
-      match replay sys ops ~k ~torn ~seed:(seed + (1000 * (k + 1))) with
+      match replay ?volume sys ops ~k ~torn ~seed:(seed + (1000 * (k + 1))) with
       | Error e -> tag "%s" e
       | Ok (st, divergence, point, injected) ->
           faults := !faults + injected;
@@ -400,8 +413,8 @@ type read_fault_outcome = {
   rf_violations : string list;
 }
 
-let read_fault_run ?(rate = 0.08) ?(burst = 1) ?(seed = 11) sys ops =
-  let io, st = start sys in
+let read_fault_run ?volume ?(rate = 0.08) ?(burst = 1) ?(seed = 11) sys ops =
+  let io, st = start ?volume sys in
   let f =
     Faulty.attach io
       { Faulty.quiet with seed; read_error_rate = rate; read_error_burst = burst }

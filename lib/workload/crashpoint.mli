@@ -54,14 +54,27 @@ type outcome = {
 }
 
 val sweep :
-  ?torn:bool -> ?max_boundaries:int -> ?seed:int -> system -> op list -> outcome
+  ?volume:Lfs_disk.Volume.policy * int ->
+  ?torn:bool ->
+  ?max_boundaries:int ->
+  ?seed:int ->
+  system ->
+  op list ->
+  outcome
 (** Exhaustive when the workload issues at most [max_boundaries]
     (default 48) writes; above that, a seeded sample of boundaries.
     [torn] tears the crashing write instead of dropping it — meaningful
     for LFS, whose log never overwrites live data; FFS update-in-place
     can legitimately lose durable directory entries to a torn overwrite
     (that being fsck's classic lost+found case), so torn sweeps assert
-    only on LFS. *)
+    only on LFS.
+
+    [volume] runs every stack on a volume of [(policy, members)] 16 MB
+    member disks instead of a single disk ({!Io.snapshot_media} keeps
+    replays deterministic on volumes).
+    @raise Invalid_argument for mirror volumes: a mid-fan-out crash
+    leaves replicas divergent, making later load-balanced reads
+    semantically unspecified — only striped policies can be swept. *)
 
 (** {1 Read-fault scenarios} *)
 
@@ -73,7 +86,12 @@ type read_fault_outcome = {
 }
 
 val read_fault_run :
-  ?rate:float -> ?burst:int -> ?seed:int -> system -> op list ->
+  ?volume:Lfs_disk.Volume.policy * int ->
+  ?rate:float ->
+  ?burst:int ->
+  ?seed:int ->
+  system ->
+  op list ->
   read_fault_outcome
 (** Run the workload, drop caches, read every file back and verify
     integrity while every read may transiently fail: all faults must be

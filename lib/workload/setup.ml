@@ -13,8 +13,13 @@ let make_io ?(disk_mb = default_disk_mb) ?(cpu = Cpu_model.sun4_260) () =
   let geometry = Geometry.wren_iv ~size_bytes:(disk_mb * 1024 * 1024) in
   Io.of_geometry geometry (Clock.create ()) cpu
 
-let lfs ?disk_mb ?cpu ?(config = Lfs_core.Config.default) () =
-  let io = make_io ?disk_mb ?cpu () in
+let make_volume_io ?(disk_mb = default_disk_mb) ?(cpu = Cpu_model.sun4_260)
+    ~policy ~members () =
+  let geometry = Geometry.wren_iv ~size_bytes:(disk_mb * 1024 * 1024) in
+  let volume = Lfs_disk.Volume.create policy ~members geometry in
+  Io.of_volume volume (Clock.create ()) cpu
+
+let lfs_on io ?(config = Lfs_core.Config.default) () =
   (match Lfs_core.Fs.format io config with
   | Ok () -> ()
   | Error e -> Driver.fail "LFS format: %s" e);
@@ -22,14 +27,19 @@ let lfs ?disk_mb ?cpu ?(config = Lfs_core.Config.default) () =
   | Ok fs -> Fs_intf.Instance ((module Lfs_core.Fs), fs)
   | Error e -> Driver.fail "LFS mount: %s" e
 
-let ffs ?disk_mb ?cpu ?(config = Lfs_ffs.Config.default) () =
-  let io = make_io ?disk_mb ?cpu () in
+let ffs_on io ?(config = Lfs_ffs.Config.default) () =
   (match Lfs_ffs.Fs.format io config with
   | Ok () -> ()
   | Error e -> Driver.fail "FFS format: %s" e);
   match Lfs_ffs.Fs.mount ~config io with
   | Ok fs -> Fs_intf.Instance ((module Lfs_ffs.Fs), fs)
   | Error e -> Driver.fail "FFS mount: %s" e
+
+let lfs ?disk_mb ?cpu ?config () =
+  lfs_on (make_io ?disk_mb ?cpu ()) ?config ()
+
+let ffs ?disk_mb ?cpu ?config () =
+  ffs_on (make_io ?disk_mb ?cpu ()) ?config ()
 
 (** Both systems on identical hardware, LFS first — the comparison pair
     of every figure in §5. *)

@@ -7,6 +7,7 @@ let () =
       ("codecs", Test_codecs.suite);
       ("disk", Test_disk.suite);
       ("sched", Test_sched.suite);
+      ("volume", Test_volume.suite);
       ("obs", Test_obs.suite);
       ("profile", Test_profile.suite);
       ("lfs-basic", Test_lfs_basic.suite);

@@ -181,6 +181,13 @@ let is_metric_registrar s =
     (fun r -> s = r || String.ends_with ~suffix:("." ^ r) s)
     metric_registrars
 
+(* Metrics.member_counter registers "disk.<member>.<literal>" — a whole
+   family, one per volume member.  The catalog records the family once
+   with the index generalised to the "<i>" placeholder. *)
+let is_member_counter_registrar s =
+  s = "Metrics.member_counter"
+  || String.ends_with ~suffix:".Metrics.member_counter" s
+
 let span_registrars = [ "Bus.with_span"; "Bus.span_begin" ]
 
 let is_span_registrar s =
@@ -212,11 +219,16 @@ let metric_name_ok name =
       List.mem first metric_prefixes
       && List.for_all
            (fun seg ->
-             seg <> ""
-             && String.for_all
-                  (fun c ->
-                    (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_')
-                  seg)
+             (* "<i>" is the per-member label placeholder (disk.<i>.seeks):
+                one catalog entry stands for the whole member family. *)
+             seg = "<i>"
+             || seg <> ""
+                && String.for_all
+                     (fun c ->
+                       (c >= 'a' && c <= 'z')
+                       || (c >= '0' && c <= '9')
+                       || c = '_')
+                     seg)
            rest
   | _ -> false
 
@@ -237,6 +249,7 @@ let absorbers =
   [
     ("disk/io.ml", eff_disk_io lor eff_clock);
     ("disk/disk.ml", eff_disk_io);
+    ("disk/volume.ml", eff_disk_io);
     ("disk/clock.ml", eff_nondet);
     ("util/rng.ml", eff_nondet);
     ("workload/engine.ml", eff_clock);
@@ -491,6 +504,17 @@ let collect_file col file (ast : Parsetree.structure) =
                 | Some (name, loc) ->
                     col.c_metrics <-
                       { s_name = name; s_file = file; s_line = line_of_loc loc }
+                      :: col.c_metrics
+                | None -> ());
+              if is_member_counter_registrar s && lib_ctx file then (
+                match first_string_literal args with
+                | Some (name, loc) ->
+                    col.c_metrics <-
+                      {
+                        s_name = "disk.<i>." ^ name;
+                        s_file = file;
+                        s_line = line_of_loc loc;
+                      }
                       :: col.c_metrics
                 | None -> ());
               if is_span_registrar s && lib_ctx file then (
